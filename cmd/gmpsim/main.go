@@ -1,0 +1,133 @@
+// gmpsim runs named protocol scenarios on the deterministic simulator and
+// prints the event-level story: suspicions, view installations, quits, and
+// the GMP checker's verdict.
+//
+// Usage:
+//
+//	gmpsim -scenario exclusion -n 5 -seed 1
+//	gmpsim -scenario reconfig -trace
+//	gmpsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/scenario"
+)
+
+type runner func(n int, seed int64) *scenario.Cluster
+
+var scenarios = map[string]struct {
+	about string
+	run   runner
+}{
+	"exclusion": {"one process crashes and is excluded by the coordinator", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		c.CrashAt(c.Initial()[n-1], 50)
+		return c
+	}},
+	"reconfig": {"the coordinator crashes; the next in rank reconfigures", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		c.CrashAt(c.Initial()[0], 50)
+		return c
+	}},
+	"spurious": {"the coordinator wrongly suspects a live process, which must quit", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig(), MuteOracle: true})
+		c.SuspectAt(c.Initial()[0], c.Initial()[n-1], 10)
+		return c
+	}},
+	"churn": {"a stream of crashes and joins, including a coordinator failure", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		procs := c.Initial()
+		c.CrashAt(procs[n-1], 50)
+		c.JoinAt(ids.ProcID{Site: "q1"}, procs[1], 400)
+		c.CrashAt(procs[0], 900)
+		c.JoinAt(ids.ProcID{Site: "q2"}, procs[1], 1500)
+		return c
+	}},
+	"fig3": {"Figure 3: coordinator dies mid-commit; reconfiguration repairs the split", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig(), MuteOracle: true})
+		procs := c.Initial()
+		c.SuspectAt(procs[0], procs[n-1], 10)
+		c.CrashDuringBroadcast(procs[0], 1, core.LabelCommit)
+		for _, obs := range procs[1 : n-1] {
+			c.SuspectAt(obs, procs[0], 200)
+		}
+		return c
+	}},
+	"blocked": {"a majority crashes; survivors block rather than diverge", func(n int, seed int64) *scenario.Cluster {
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		procs := c.Initial()
+		for i := 0; i < n/2+1; i++ {
+			c.CrashAt(procs[i], 50)
+		}
+		return c
+	}},
+}
+
+func main() {
+	name := flag.String("scenario", "exclusion", "scenario to run")
+	n := flag.Int("n", 5, "initial group size")
+	seed := flag.Int64("seed", 1, "schedule seed")
+	traceAll := flag.Bool("trace", false, "print the full event trace")
+	jsonOut := flag.String("json", "", "write the full run as JSON Lines to this file")
+	list := flag.Bool("list", false, "list scenarios")
+	flag.Parse()
+
+	if *list {
+		for name, s := range scenarios {
+			fmt.Printf("%-10s %s\n", name, s.about)
+		}
+		return
+	}
+	s, ok := scenarios[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scenario %q; try -list\n", *name)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %q: %s (n=%d, seed=%d)\n\n", *name, s.about, *n, *seed)
+	c := s.run(*n, *seed)
+	c.Run()
+
+	for _, e := range c.Rec.Events() {
+		if !*traceAll {
+			switch e.Kind {
+			case event.Send, event.Recv, event.Drop, event.Start:
+				continue
+			}
+		}
+		fmt.Printf("t=%-6d %v\n", e.Time, e)
+	}
+
+	fmt.Println()
+	if v, err := c.StableView(); err == nil {
+		fmt.Printf("stable view: %v (coordinator %v)\n", v, v.Mgr())
+	} else {
+		fmt.Printf("no stable view: %v\n", err)
+	}
+	fmt.Printf("protocol messages: %d (exclusion %d, reconfiguration %d)\n",
+		c.Messages(core.ProtocolLabels...),
+		c.Messages(core.ExclusionLabels...),
+		c.Messages(core.ReconfigLabels...))
+	fmt.Printf("simulated time: %d ticks, %d scheduler steps\n", c.Sched.Now(), c.Sched.Steps())
+	fmt.Printf("checker: %v\n", c.Check())
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json export:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := c.Rec.WriteJSONL(f); err != nil {
+			fmt.Fprintln(os.Stderr, "json export:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s\n", *jsonOut)
+	}
+}

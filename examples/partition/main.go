@@ -1,0 +1,53 @@
+// Partition: §4.3's majority rule in action. Reconfiguration installs a
+// view only with responses from a majority of the initiator's local view —
+// "an initiator can fail to obtain a majority in three ways: the
+// initiator, itself, may be faulty, the network may be partitioned, or a
+// majority of processes may be faulty. In the last instance, no algorithm
+// can make progress unless some recoveries occur."
+//
+// Run 1 crashes a minority (the group reconfigures and carries on);
+// run 2 crashes a majority (the survivors block rather than diverge).
+package main
+
+import (
+	"fmt"
+
+	"procgroup"
+)
+
+func run(crashes int) {
+	sim := procgroup.NewSim(procgroup.SimOptions{
+		N:      5,
+		Seed:   7,
+		Config: procgroup.DefaultConfig(),
+	})
+	procs := sim.Initial()
+	fmt.Printf("--- crashing %d of 5 processes (including the coordinator) ---\n", crashes)
+	for i := 0; i < crashes; i++ {
+		sim.CrashAt(procs[i], 50)
+	}
+	sim.Run()
+
+	if v, err := sim.StableView(); err == nil {
+		fmt.Printf("survivors agreed on %v (coordinator %v)\n", v, v.Mgr())
+	} else {
+		fmt.Printf("no new view was installed: %v\n", err)
+	}
+	for _, p := range procs {
+		n := sim.Node(p)
+		state := "crashed"
+		if sim.Alive(p) {
+			state = fmt.Sprintf("alive, view %v", n.View())
+		} else if n.QuitReason() != "" {
+			state = "quit: " + n.QuitReason()
+		}
+		fmt.Printf("  %v: %s\n", p, state)
+	}
+	fmt.Printf("checker: %v\n\n", sim.Check())
+}
+
+func main() {
+	run(2) // minority lost: reconfiguration succeeds
+	run(3) // majority lost: the paper says progress is impossible — and
+	// crucially the survivors never install divergent views
+}

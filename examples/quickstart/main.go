@@ -1,0 +1,52 @@
+// Quickstart: boot a live five-process group, kill an ordinary member,
+// then kill the coordinator, and watch every survivor install the same
+// sequence of views — the protocol's headline guarantee (GMP-3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"procgroup"
+)
+
+func main() {
+	group := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              5,
+		HeartbeatEvery: 10 * time.Millisecond,
+		SuspectAfter:   60 * time.Millisecond,
+	})
+	defer group.Stop()
+
+	v, err := group.WaitConverged(5 * time.Second)
+	if err != nil {
+		log.Fatalf("bootstrap: %v", err)
+	}
+	fmt.Printf("group up: %v  (coordinator %v)\n", v, v.Mgr())
+
+	fmt.Println("\n--- killing an ordinary member (p4) ---")
+	group.Kill(procgroup.Named("p4"))
+	v, err = group.WaitConverged(10 * time.Second)
+	if err != nil {
+		log.Fatalf("after killing p4: %v", err)
+	}
+	fmt.Printf("agreed view: %v\n", v)
+
+	fmt.Println("\n--- killing the coordinator (p1) ---")
+	group.Kill(procgroup.Named("p1"))
+	v, err = group.WaitConverged(15 * time.Second)
+	if err != nil {
+		log.Fatalf("after killing p1: %v", err)
+	}
+	fmt.Printf("agreed view: %v  (new coordinator %v)\n", v, v.Mgr())
+
+	fmt.Println("\n--- view sequences per process (identical prefixes) ---")
+	for _, p := range group.Running() {
+		fmt.Printf("%v:", p)
+		for _, vr := range group.Recorder().ViewLog(p) {
+			fmt.Printf("  v%d%v", vr.Ver, vr.Members)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,144 @@
+// Package baseline hosts the comparison protocols of the evaluation: the
+// one-phase and two-phase strawmen the paper proves inadequate (§7.3,
+// Claims 7.1 and 7.2) and a symmetric all-to-all membership protocol in the
+// style the paper attributes to Bruso — "an order of magnitude more
+// messages in all situations" (§1). This file provides the shared harness
+// that wires any baseline node onto the simulated substrate so the same
+// checker and counters apply to all of them.
+package baseline
+
+import (
+	"procgroup/internal/check"
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/fd"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/netsim"
+	"procgroup/internal/sim"
+	"procgroup/internal/trace"
+)
+
+// Node is the protocol surface the harness drives; core.Node and every
+// baseline node satisfy it.
+type Node interface {
+	Deliver(from ids.ProcID, payload any)
+	Suspect(q ids.ProcID)
+	Bootstrap(initial []ids.ProcID)
+	Alive() bool
+	View() *member.View
+}
+
+// Factory builds one protocol node for a process.
+type Factory func(id ids.ProcID, env core.Env) Node
+
+// Options configures a baseline harness.
+type Options struct {
+	N           int
+	Seed        int64
+	Delay       netsim.DelayFn
+	DetectDelay netsim.DelayFn
+	MuteOracle  bool
+}
+
+// Harness runs a set of baseline nodes on the simulated substrate.
+type Harness struct {
+	Sched  *sim.Scheduler
+	Net    *netsim.Network
+	Oracle *fd.Oracle
+	Rec    *trace.Recorder
+
+	initial []ids.ProcID
+	nodes   map[ids.ProcID]Node
+}
+
+// NewHarness builds and bootstraps a cluster of factory-made nodes.
+func NewHarness(opts Options, factory Factory) *Harness {
+	procs := ids.Gen(opts.N)
+	sched := sim.NewScheduler(opts.Seed)
+	rec := trace.NewRecorder(func() int64 { return int64(sched.Now()) })
+	net := netsim.New(sched, opts.Delay, rec)
+	oracle := fd.NewOracle(sched, net, opts.DetectDelay)
+	if opts.MuteOracle {
+		oracle.Mute()
+	}
+	h := &Harness{
+		Sched:   sched,
+		Net:     net,
+		Oracle:  oracle,
+		Rec:     rec,
+		initial: procs,
+		nodes:   make(map[ids.ProcID]Node, len(procs)),
+	}
+	for _, p := range procs {
+		n := factory(p, &env{h: h, id: p})
+		h.nodes[p] = n
+		net.Register(p, n.Deliver)
+		oracle.Register(p, n.Suspect)
+	}
+	for _, p := range procs {
+		h.nodes[p].Bootstrap(procs)
+	}
+	return h
+}
+
+// env adapts the substrate to core.Env for baseline nodes.
+type env struct {
+	h  *Harness
+	id ids.ProcID
+}
+
+func (e *env) Send(to ids.ProcID, payload any) { e.h.Net.Send(e.id, to, payload) }
+
+func (e *env) After(d int64, fn func()) (cancel func()) {
+	cancelled := false
+	e.h.Sched.After(sim.Time(d), func() {
+		if !cancelled {
+			fn()
+		}
+	})
+	return func() { cancelled = true }
+}
+
+func (e *env) Quit() { e.h.Net.Crash(e.id) }
+
+func (e *env) Record(k event.Kind, other ids.ProcID) { e.h.Rec.RecordInternal(e.id, k, other) }
+
+func (e *env) RecordInstall(ver member.Version, members []ids.ProcID) {
+	e.h.Rec.RecordInstall(e.id, ver, members)
+}
+
+// Initial returns the bootstrap membership.
+func (h *Harness) Initial() []ids.ProcID {
+	out := make([]ids.ProcID, len(h.initial))
+	copy(out, h.initial)
+	return out
+}
+
+// Node returns p's node.
+func (h *Harness) Node(p ids.ProcID) Node { return h.nodes[p] }
+
+// Alive reports whether p is still executing.
+func (h *Harness) Alive(p ids.ProcID) bool {
+	n, ok := h.nodes[p]
+	return ok && n.Alive() && h.Net.Alive(p)
+}
+
+// CrashAt schedules a crash.
+func (h *Harness) CrashAt(p ids.ProcID, t sim.Time) {
+	h.Sched.At(t, func() { h.Net.Crash(p) })
+}
+
+// SuspectAt injects faulty_p(q) at t.
+func (h *Harness) SuspectAt(p, q ids.ProcID, t sim.Time) { h.Oracle.Inject(p, q, t) }
+
+// Run drains the schedule.
+func (h *Harness) Run() { h.Sched.Run() }
+
+// Messages sums recorded sends for the labels (all when empty).
+func (h *Harness) Messages(labels ...string) int { return h.Rec.MessagesSent(labels...) }
+
+// Check runs the GMP checker over the recorded run.
+func (h *Harness) Check() *check.Report {
+	return check.Run(check.Input{Recorder: h.Rec, Initial: h.Initial(), Alive: h.Alive})
+}

@@ -1,0 +1,137 @@
+// Package onephase is the one-phase membership strawman of Claim 7.1: a
+// coordinator (or self-appointed successor) simply broadcasts removals and
+// everyone applies them on receipt — no acknowledgement, no agreement
+// round. The paper proves this cannot solve GMP when the coordinator can
+// fail: cross-partition suspicions make two processes broadcast conflicting
+// removals that property S1 confines to disjoint audiences, so local views
+// for the same version number diverge (GMP-3 is violated). The tests in
+// this package reproduce exactly that run and convict it with the shared
+// checker.
+package onephase
+
+import (
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// LabelRemove is the single message kind of the protocol.
+const LabelRemove = "Remove1P"
+
+// Remove is the unacknowledged removal broadcast.
+type Remove struct {
+	Target ids.ProcID
+	Ver    member.Version
+}
+
+// MsgLabel implements netsim.Labeled.
+func (Remove) MsgLabel() string { return LabelRemove }
+
+// Node runs the one-phase protocol.
+type Node struct {
+	id       ids.ProcID
+	env      core.Env
+	alive    bool
+	view     *member.View
+	isolated ids.Set
+}
+
+// New builds a node.
+func New(id ids.ProcID, env core.Env) *Node {
+	return &Node{id: id, env: env, alive: true, isolated: ids.NewSet()}
+}
+
+// Bootstrap installs the initial commonly-known view.
+func (n *Node) Bootstrap(initial []ids.ProcID) {
+	n.view = member.NewView(initial)
+	n.env.RecordInstall(n.view.Version(), n.view.Members())
+}
+
+// Alive reports whether the node still executes.
+func (n *Node) Alive() bool { return n.alive }
+
+// View returns a copy of the local view.
+func (n *Node) View() *member.View {
+	if n.view == nil {
+		return nil
+	}
+	return n.view.Clone()
+}
+
+// Suspect is the F1 input. The acting rule is the one-phase analogue of the
+// paper's succession: the coordinator removes suspects directly; an outer
+// process acts only once every higher-ranked member is suspected, then
+// broadcasts the removals itself.
+func (n *Node) Suspect(q ids.ProcID) {
+	if !n.alive || q == n.id || n.isolated.Has(q) || !n.view.Has(q) {
+		return
+	}
+	n.isolated.Add(q)
+	n.env.Record(event.Faulty, q)
+	n.act()
+}
+
+// act broadcasts and applies removals for every suspect once this node is
+// the highest-ranked unsuspected member.
+func (n *Node) act() {
+	for _, h := range n.view.HigherRanked(n.id) {
+		if !n.isolated.Has(h) {
+			return // somebody above us is responsible
+		}
+	}
+	for {
+		var target ids.ProcID
+		for _, m := range n.view.Members() {
+			if n.isolated.Has(m) {
+				target = m
+				break
+			}
+		}
+		if target.IsNil() {
+			return
+		}
+		ver := n.view.Version() + 1
+		for _, m := range n.view.Members() {
+			if m != n.id && m != target {
+				n.env.Send(m, Remove{Target: target, Ver: ver})
+			}
+		}
+		n.apply(target)
+	}
+}
+
+func (n *Node) apply(target ids.ProcID) {
+	if err := n.view.Apply(member.Remove(target)); err != nil {
+		return
+	}
+	n.env.Record(event.Remove, target)
+	n.env.RecordInstall(n.view.Version(), n.view.Members())
+}
+
+// Deliver applies a received removal, subject to property S1.
+func (n *Node) Deliver(from ids.ProcID, payload any) {
+	if !n.alive || n.isolated.Has(from) || !n.view.Has(from) {
+		return
+	}
+	m, ok := payload.(Remove)
+	if !ok {
+		return
+	}
+	if m.Target == n.id {
+		n.alive = false
+		n.env.Record(event.Quit, ids.Nil)
+		n.env.Quit()
+		return
+	}
+	if !n.view.Has(m.Target) {
+		return
+	}
+	// F2 gossip keeps GMP-1 technically satisfied; the property this
+	// protocol loses is GMP-3.
+	if !n.isolated.Has(m.Target) {
+		n.isolated.Add(m.Target)
+		n.env.Record(event.Faulty, m.Target)
+	}
+	n.apply(m.Target)
+}

@@ -1,0 +1,86 @@
+package onephase
+
+import (
+	"testing"
+
+	"procgroup/internal/baseline"
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+)
+
+func factory(id ids.ProcID, env core.Env) baseline.Node { return New(id, env) }
+
+// TestClaim71_CrossSuspicionDiverges reproduces the proof of Claim 7.1:
+// partition Proc into R and S with r ∈ R and Mgr ∈ S; everyone in R
+// suspects Mgr and everyone in S suspects r. r's removal broadcast is
+// discarded by S (property S1) and Mgr's by R, so R installs Proc−{Mgr} as
+// v1 while S installs Proc−{r} as v1 — Memb¹ differs across live
+// processes, violating GMP-3.
+func TestClaim71_CrossSuspicionDiverges(t *testing.T) {
+	h := baseline.NewHarness(baseline.Options{N: 6, Seed: 31, MuteOracle: true}, factory)
+	procs := h.Initial()
+	mgr := procs[0]
+	r := procs[1]
+	rSide := procs[1:4] // r, p3, p4
+	sSide := procs[4:6] // p5, p6 side with Mgr
+	for _, p := range rSide {
+		h.SuspectAt(p, mgr, 10)
+	}
+	h.SuspectAt(mgr, r, 10)
+	for _, p := range sSide {
+		h.SuspectAt(p, r, 10)
+	}
+	h.Run()
+
+	rep := h.Check()
+	if rep.OK() {
+		t.Fatal("one-phase protocol passed the checker; Claim 7.1 says it must not")
+	}
+	if len(rep.Of("GMP-3")) == 0 {
+		t.Errorf("want a GMP-3 violation, got:\n%v", rep)
+	}
+	// The divergence is exactly the one from the claim's proof.
+	vr := h.Node(procs[2]).View() // R side
+	vs := h.Node(procs[4]).View() // S side
+	if vr.Has(mgr) || !vr.Has(r) {
+		t.Errorf("R side view %v should exclude Mgr and keep r", vr)
+	}
+	if vs.Has(r) || !vs.Has(mgr) {
+		t.Errorf("S side view %v should exclude r and keep Mgr", vs)
+	}
+}
+
+// TestHealthyPathWorks shows the strawman is not trivially broken: with a
+// stable coordinator it does exclude a crashed process consistently — the
+// flaw only appears when the coordinator itself can fail.
+func TestHealthyPathWorks(t *testing.T) {
+	h := baseline.NewHarness(baseline.Options{N: 5, Seed: 32}, factory)
+	procs := h.Initial()
+	h.CrashAt(procs[4], 20)
+	h.Run()
+
+	rep := h.Check()
+	if !rep.OK() {
+		t.Fatalf("healthy one-phase run should pass: %v", rep)
+	}
+	for _, p := range procs[:4] {
+		v := h.Node(p).View()
+		if v.Has(procs[4]) || v.Size() != 4 {
+			t.Errorf("%v view %v", p, v)
+		}
+	}
+}
+
+// TestMessageCost records the one-phase cost: n−2 messages per exclusion —
+// cheap, and exactly why the paper must prove it unsound rather than
+// inefficient.
+func TestMessageCost(t *testing.T) {
+	n := 8
+	h := baseline.NewHarness(baseline.Options{N: n, Seed: 33}, factory)
+	procs := h.Initial()
+	h.CrashAt(procs[n-1], 20)
+	h.Run()
+	if got, want := h.Messages(LabelRemove), n-2; got != want {
+		t.Errorf("one-phase exclusion cost %d, want %d", got, want)
+	}
+}

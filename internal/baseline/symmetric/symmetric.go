@@ -1,0 +1,146 @@
+// Package symmetric is the comparison protocol of §1/§8: a fully symmetric
+// membership service in the style the paper attributes to Bruso [5] — every
+// process behaves identically, flooding accusations to the whole group and
+// excluding a member once a majority has accused it. It is correct for
+// well-separated failures and needs no coordinator, but each exclusion
+// costs (n−1)² messages where the asymmetric GMP protocol pays 3n−5 — the
+// "order of magnitude more messages in all situations" the paper cites.
+// Benchmarks in the repository root regenerate that comparison.
+package symmetric
+
+import (
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// LabelAccuse is the protocol's single message kind.
+const LabelAccuse = "Accuse"
+
+// Accuse floods one process's belief that Target is faulty. A first-hand
+// detection and an echo are deliberately the same message: the protocol is
+// symmetric.
+type Accuse struct {
+	Target ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (Accuse) MsgLabel() string { return LabelAccuse }
+
+// Node runs the symmetric protocol.
+type Node struct {
+	id       ids.ProcID
+	env      core.Env
+	alive    bool
+	view     *member.View
+	isolated ids.Set
+	accused  ids.Set                // targets this node has flooded
+	echoes   map[ids.ProcID]ids.Set // target → accusers seen (incl. self)
+	selfAcc  ids.Set                // processes that accused this node
+}
+
+// New builds a node.
+func New(id ids.ProcID, env core.Env) *Node {
+	return &Node{
+		id:       id,
+		env:      env,
+		alive:    true,
+		isolated: ids.NewSet(),
+		accused:  ids.NewSet(),
+		echoes:   make(map[ids.ProcID]ids.Set),
+		selfAcc:  ids.NewSet(),
+	}
+}
+
+// Bootstrap installs the initial view.
+func (n *Node) Bootstrap(initial []ids.ProcID) {
+	n.view = member.NewView(initial)
+	n.env.RecordInstall(n.view.Version(), n.view.Members())
+}
+
+// Alive reports whether the node still executes.
+func (n *Node) Alive() bool { return n.alive }
+
+// View returns a copy of the local view.
+func (n *Node) View() *member.View {
+	if n.view == nil {
+		return nil
+	}
+	return n.view.Clone()
+}
+
+// Suspect is the F1 input: flood the accusation.
+func (n *Node) Suspect(q ids.ProcID) {
+	if !n.alive || q == n.id || !n.view.Has(q) {
+		return
+	}
+	n.accuse(q)
+}
+
+func (n *Node) accuse(q ids.ProcID) {
+	if n.accused.Has(q) {
+		return
+	}
+	n.accused.Add(q)
+	if !n.isolated.Has(q) {
+		n.isolated.Add(q)
+		n.env.Record(event.Faulty, q)
+	}
+	set, ok := n.echoes[q]
+	if !ok {
+		set = ids.NewSet()
+		n.echoes[q] = set
+	}
+	set.Add(n.id)
+	for _, m := range n.view.Members() {
+		if m != n.id {
+			n.env.Send(m, Accuse{Target: q})
+		}
+	}
+	n.maybeCommit(q)
+}
+
+// Deliver counts accusations; an accusation we have not flooded yet is
+// echoed (that is the n² of the protocol).
+func (n *Node) Deliver(from ids.ProcID, payload any) {
+	if !n.alive || n.isolated.Has(from) || !n.view.Has(from) {
+		return
+	}
+	m, ok := payload.(Accuse)
+	if !ok {
+		return
+	}
+	if m.Target == n.id {
+		n.selfAcc.Add(from)
+		if n.selfAcc.Len() >= n.view.Majority()-1 {
+			// A majority (them plus themselves) holds us faulty: quit.
+			n.alive = false
+			n.env.Record(event.Quit, ids.Nil)
+			n.env.Quit()
+		}
+		return
+	}
+	if !n.view.Has(m.Target) {
+		return
+	}
+	set, ok := n.echoes[m.Target]
+	if !ok {
+		set = ids.NewSet()
+		n.echoes[m.Target] = set
+	}
+	set.Add(from)
+	n.accuse(m.Target) // echo once; no-op if already flooded
+	n.maybeCommit(m.Target)
+}
+
+func (n *Node) maybeCommit(q ids.ProcID) {
+	if !n.view.Has(q) || n.echoes[q].Len() < n.view.Majority() {
+		return
+	}
+	if err := n.view.Apply(member.Remove(q)); err != nil {
+		return
+	}
+	n.env.Record(event.Remove, q)
+	n.env.RecordInstall(n.view.Version(), n.view.Members())
+}

@@ -1,0 +1,96 @@
+package symmetric
+
+import (
+	"testing"
+
+	"procgroup/internal/baseline"
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+)
+
+func factory(id ids.ProcID, env core.Env) baseline.Node { return New(id, env) }
+
+func TestSingleExclusionConverges(t *testing.T) {
+	h := baseline.NewHarness(baseline.Options{N: 6, Seed: 41}, factory)
+	procs := h.Initial()
+	h.CrashAt(procs[5], 20)
+	h.Run()
+
+	rep := h.Check()
+	if !rep.OK() {
+		t.Fatalf("symmetric single-failure run should pass: %v", rep)
+	}
+	for _, p := range procs[:5] {
+		v := h.Node(p).View()
+		if v.Has(procs[5]) || v.Size() != 5 {
+			t.Errorf("%v view %v", p, v)
+		}
+	}
+}
+
+func TestExclusionCostsQuadratic(t *testing.T) {
+	// Every live process floods one accusation to n−1 peers: (n−1)²
+	// messages per exclusion, against the asymmetric protocol's 3n−5.
+	for _, n := range []int{4, 8, 16, 32} {
+		h := baseline.NewHarness(baseline.Options{N: n, Seed: 42}, factory)
+		procs := h.Initial()
+		h.CrashAt(procs[n-1], 20)
+		h.Run()
+		got := h.Messages(LabelAccuse)
+		want := (n - 1) * (n - 1)
+		if got != want {
+			t.Errorf("n=%d: symmetric cost %d, want (n−1)²=%d", n, got, want)
+		}
+		gmp := 3*n - 5
+		if got <= gmp {
+			t.Errorf("n=%d: symmetric (%d) should cost more than GMP (%d)", n, got, gmp)
+		}
+	}
+}
+
+func TestOrderOfMagnitudeAtScale(t *testing.T) {
+	// §1: "an order of magnitude more messages in all situations" — at
+	// n=32 the ratio exceeds 10×.
+	n := 32
+	ratio := float64((n-1)*(n-1)) / float64(3*n-5)
+	if ratio < 10 {
+		t.Errorf("ratio at n=%d is %.1f, want ≥10", n, ratio)
+	}
+}
+
+func TestSequentialFailuresConverge(t *testing.T) {
+	h := baseline.NewHarness(baseline.Options{N: 7, Seed: 43}, factory)
+	procs := h.Initial()
+	h.CrashAt(procs[6], 20)
+	h.CrashAt(procs[5], 500)
+	h.Run()
+
+	rep := h.Check()
+	if !rep.OK() {
+		t.Fatalf("sequential failures should stay consistent: %v", rep)
+	}
+	v := h.Node(procs[0]).View()
+	if v.Size() != 5 {
+		t.Errorf("final view %v, want 5 members", v)
+	}
+}
+
+func TestMajorityAccusationKillsLiveTarget(t *testing.T) {
+	// A spuriously accused live process quits once a majority accuses it
+	// (GMP-5 resolution in the symmetric world).
+	h := baseline.NewHarness(baseline.Options{N: 5, Seed: 44, MuteOracle: true}, factory)
+	procs := h.Initial()
+	victim := procs[4]
+	for _, p := range procs[:3] {
+		h.SuspectAt(p, victim, 10)
+	}
+	h.Run()
+
+	if h.Alive(victim) {
+		t.Error("majority-accused process should have quit")
+	}
+	rep := h.Check()
+	if !rep.OK() {
+		t.Fatalf("spurious-accusation run should stay consistent: %v", rep)
+	}
+}

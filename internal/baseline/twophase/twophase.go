@@ -1,0 +1,70 @@
+// Package twophase demonstrates Claim 7.2: a reconfiguration protocol with
+// only two phases (interrogate → commit, no proposal round) cannot solve
+// GMP when the coordinator can fail. Without Phase II, an initiator's
+// choice of update is never disseminated to a majority before it commits —
+// so a commit that reaches only processes which then crash is genuinely
+// invisible to every later reconfigurer, which will propose something else
+// for the same version number and violate GMP-3 (Figure 11).
+//
+// The protocol itself is the core GMP node with Config.TwoPhaseReconfig
+// set; this package contributes the adversarial schedule and the paired
+// verdicts: the two-phase variant is convicted by the checker on the very
+// schedule the three-phase algorithm survives.
+package twophase
+
+import (
+	"procgroup/internal/core"
+	"procgroup/internal/scenario"
+	"procgroup/internal/sim"
+)
+
+// Config returns the strawman configuration: the final algorithm but with
+// reconfiguration cut down to two phases.
+func Config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.TwoPhaseReconfig = true
+	return cfg
+}
+
+// Figure11 builds the paper's Figure 11 schedule on a 9-process group and
+// returns the cluster ready to Run:
+//
+//  1. Mgr (p1) starts excluding p9 but crashes during the invitation
+//     broadcast, so only p2 and p3 ever learn the plan (remove p9 : p1 : 1).
+//  2. p2 reconfigures. It determines that version 1 should be "remove p9"
+//     and commits — but crashes during the commit broadcast, reaching only
+//     p3. p3 installs v1 = Proc − {p9} … and then crashes too. The commit
+//     is now invisible: no survivor ever saw it, and under the two-phase
+//     protocol no survivor ever saw a *proposal* for it either.
+//  3. p4 reconfigures with the surviving majority.
+//
+// Under the three-phase algorithm, step 2's proposal round placed
+// (remove p9 : p2 : 1) in a majority of next-lists, so p4's Determine
+// propagates it and v1 stays unique. Under the two-phase strawman, p4 sees
+// no proposal at all, proposes "remove Mgr" for v1, and p3's grave holds a
+// different v1 — the GMP-3 violation of Claim 7.2.
+//
+// The group is sized 9 so both variants retain a Phase-I majority: the
+// three-phase proposal legitimately marks the live target p9 faulty at
+// every respondent (Prop. 6.2), which removes p9 from the pool of
+// processes whose answers later initiators may accept (S1).
+func Figure11(cfg core.Config, seed int64) *scenario.Cluster {
+	c := scenario.New(scenario.Options{N: 9, Seed: seed, Config: cfg, MuteOracle: true})
+	procs := c.Initial()
+	target := procs[8]
+
+	// Step 1: Mgr learns of p9's "failure", invites, dies mid-broadcast.
+	c.SuspectAt(procs[0], target, 10)
+	c.CrashDuringBroadcast(procs[0], 2, core.LabelInvite) // reaches p2, p3 only
+
+	// Step 2: p2 takes over, commits invisibly, dies; p3 follows it.
+	c.SuspectAt(procs[1], procs[0], 100)
+	c.CrashDuringBroadcast(procs[1], 1, core.LabelReconfCommit) // reaches p3 only
+	c.CrashAt(procs[2], 400)
+
+	// Step 3: p4 reconfigures with the surviving majority.
+	for _, dead := range procs[:3] {
+		c.SuspectAt(procs[3], dead, sim.Time(500))
+	}
+	return c
+}

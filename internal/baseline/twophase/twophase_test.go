@@ -1,0 +1,105 @@
+package twophase
+
+import (
+	"testing"
+
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+)
+
+func contains(members []ids.ProcID, p ids.ProcID) bool {
+	for _, m := range members {
+		if m == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClaim72_TwoPhaseViolatesGMP3(t *testing.T) {
+	c := Figure11(Config(), 51)
+	procs := c.Initial()
+	target := procs[8]
+	c.Run()
+
+	// The invisible commit really happened: p3 died holding v1 without
+	// the target.
+	p3 := c.Views(procs[2])
+	if len(p3) < 2 || p3[1].Ver != 1 {
+		t.Fatalf("schedule broken: p3 never installed the invisible v1: %v", p3)
+	}
+	if contains(p3[1].Members, target) {
+		t.Fatalf("schedule broken: p3's v1 still contains the target: %v", p3[1].Members)
+	}
+
+	rep := c.Check()
+	if rep.OK() {
+		t.Fatal("two-phase reconfiguration passed the checker; Claim 7.2 says it must not")
+	}
+	if len(rep.Of("GMP-3")) == 0 {
+		t.Errorf("want a GMP-3 violation (divergent v1), got:\n%v", rep)
+	}
+
+	// And the divergence is exactly the predicted one: the survivors'
+	// v1 removed Mgr instead of the target.
+	p4 := c.Views(procs[3])
+	if len(p4) < 2 {
+		t.Fatalf("p4 never reconfigured: %v", p4)
+	}
+	if !contains(p4[1].Members, target) {
+		t.Errorf("expected the survivors' v1 to (wrongly) keep the target: %v", p4[1].Members)
+	}
+	if contains(p4[1].Members, procs[0]) {
+		t.Errorf("expected the survivors' v1 to remove Mgr: %v", p4[1].Members)
+	}
+}
+
+func TestClaim72_ThreePhaseSurvivesSameSchedule(t *testing.T) {
+	// The identical adversarial schedule under the paper's three-phase
+	// reconfiguration: Phase II disseminates (remove target : p2 : 1) to
+	// a majority before p2's commit, so p4 detects and propagates the
+	// invisible commit and every v1 in the run — including dead p3's — is
+	// identical.
+	c := Figure11(core.DefaultConfig(), 51)
+	procs := c.Initial()
+	c.Run()
+
+	p3 := c.Views(procs[2])
+	if len(p3) < 2 || p3[1].Ver != 1 {
+		t.Fatalf("schedule broken: p3 never installed v1: %v", p3)
+	}
+	rep := c.Check()
+	if !rep.OK() {
+		t.Fatalf("three-phase run must satisfy GMP on the Figure 11 schedule:\n%v", rep)
+	}
+	p4 := c.Views(procs[3])
+	if len(p4) < 2 || p4[1].Ver != 1 {
+		t.Fatalf("p4 never reconfigured: %v", p4)
+	}
+	want := ids.NewSet(p3[1].Members...)
+	if len(p4[1].Members) != want.Len() {
+		t.Fatalf("v1 diverged despite three phases: %v vs %v", p3[1].Members, p4[1].Members)
+	}
+	for _, m := range p4[1].Members {
+		if !want.Has(m) {
+			t.Errorf("v1 diverged despite three phases: %v vs %v", p3[1].Members, p4[1].Members)
+		}
+	}
+}
+
+func TestTwoPhaseIsCheaperButUnsound(t *testing.T) {
+	// The two-phase variant does save the proposal round's messages —
+	// soundness, not cost, is why the paper needs three phases.
+	c2 := Figure11(Config(), 51)
+	c2.Run()
+	c3 := Figure11(core.DefaultConfig(), 51)
+	c3.Run()
+	two := c2.Messages(core.LabelPropose, core.LabelProposeOK)
+	three := c3.Messages(core.LabelPropose, core.LabelProposeOK)
+	if two != 0 {
+		t.Errorf("two-phase variant sent %d proposal messages, want 0", two)
+	}
+	if three == 0 {
+		t.Error("three-phase variant sent no proposal messages")
+	}
+}

@@ -1,0 +1,35 @@
+package causal
+
+import (
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+func benchClocks(n int) (VC, VC) {
+	a, b := New(), New()
+	for _, p := range ids.Gen(n) {
+		a[p] = uint64(p.Incarnation) + 3
+		b[p] = uint64(p.Incarnation) + 5
+	}
+	return a, b
+}
+
+func BenchmarkVCCompare(b *testing.B) {
+	x, y := benchClocks(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if x.Compare(y) == Concurrent {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkVCMerge(b *testing.B) {
+	x, y := benchClocks(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.Merge(y)
+	}
+}

@@ -1,0 +1,160 @@
+// Package causal implements the causality machinery of the paper's system
+// model (§2.1): Lamport's happens-before relation, realized with vector
+// clocks, and the notion of consistent cuts (runs closed under →). The
+// checker package uses it to reconstruct and verify the cuts c_x of
+// Theorem 6.1.
+package causal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"procgroup/internal/ids"
+)
+
+// Ordering is the outcome of comparing two vector clocks.
+type Ordering int
+
+// The four possible relations between two events' clocks.
+const (
+	// Before means the first event happens-before the second.
+	Before Ordering = iota + 1
+	// After means the second event happens-before the first.
+	After
+	// Equal means the clocks are identical (same event or replica).
+	Equal
+	// Concurrent means neither happens-before the other.
+	Concurrent
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Equal:
+		return "equal"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// VC is a vector clock: one monotone counter per process. The zero value
+// (nil map) is a valid all-zero clock; mutating methods must be called on
+// clocks created by New or Clone.
+type VC map[ids.ProcID]uint64
+
+// New returns an empty (all-zero) clock.
+func New() VC { return make(VC) }
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	c := make(VC, len(v))
+	for p, n := range v {
+		c[p] = n
+	}
+	return c
+}
+
+// Get returns the component for p (zero if absent).
+func (v VC) Get(p ids.ProcID) uint64 { return v[p] }
+
+// Tick increments p's component, stamping a new local event.
+func (v VC) Tick(p ids.ProcID) { v[p]++ }
+
+// Merge sets v to the component-wise maximum of v and o (the receive rule).
+func (v VC) Merge(o VC) {
+	for p, n := range o {
+		if n > v[p] {
+			v[p] = n
+		}
+	}
+}
+
+// LessEq reports v ≤ o component-wise.
+func (v VC) LessEq(o VC) bool {
+	for p, n := range v {
+		if n > o[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare classifies the relation between two clocks.
+func (v VC) Compare(o VC) Ordering {
+	le, ge := v.LessEq(o), o.LessEq(v)
+	switch {
+	case le && ge:
+		return Equal
+	case le:
+		return Before
+	case ge:
+		return After
+	default:
+		return Concurrent
+	}
+}
+
+// HappensBefore reports strict causal precedence v → o.
+func (v VC) HappensBefore(o VC) bool { return v.Compare(o) == Before }
+
+// String renders the clock deterministically, e.g. "{p1:3 p2:1}".
+func (v VC) String() string {
+	procs := make([]ids.ProcID, 0, len(v))
+	for p := range v {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Less(procs[j]) })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range procs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", p, v[p])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Frontier is a consistent cut described by its frontier: for each process,
+// the index (1-based count) of its last included event. A cut c is
+// consistent iff it is closed under happens-before (§2.1); ConsistentCut in
+// the check package verifies that using the events' vector clocks.
+type Frontier map[ids.ProcID]int
+
+// Clone returns an independent copy of the frontier.
+func (f Frontier) Clone() Frontier {
+	c := make(Frontier, len(f))
+	for p, n := range f {
+		c[p] = n
+	}
+	return c
+}
+
+// Leq reports pointwise f ≤ g, the prefix order on cuts (c ≤ c′ in §2.1).
+func (f Frontier) Leq(g Frontier) bool {
+	for p, n := range f {
+		if n > g[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyLess reports the paper's c << c′: every process history in f is a
+// strict prefix of its history in g.
+func (f Frontier) StrictlyLess(g Frontier) bool {
+	for p, n := range g {
+		if f[p] >= n {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,188 @@
+package causal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"procgroup/internal/ids"
+)
+
+var (
+	pa = ids.Named("a")
+	pb = ids.Named("b")
+	pc = ids.Named("c")
+)
+
+func TestCompareBasics(t *testing.T) {
+	empty := New()
+	one := New()
+	one.Tick(pa)
+
+	if got := empty.Compare(one); got != Before {
+		t.Errorf("empty vs ticked = %v, want Before", got)
+	}
+	if got := one.Compare(empty); got != After {
+		t.Errorf("ticked vs empty = %v, want After", got)
+	}
+	if got := one.Compare(one.Clone()); got != Equal {
+		t.Errorf("clone compare = %v, want Equal", got)
+	}
+
+	x, y := New(), New()
+	x.Tick(pa)
+	y.Tick(pb)
+	if got := x.Compare(y); got != Concurrent {
+		t.Errorf("independent ticks = %v, want Concurrent", got)
+	}
+}
+
+func TestMessageChainHappensBefore(t *testing.T) {
+	// a: e1 --m--> b: e2; e1 must happen-before e2.
+	a, b := New(), New()
+	a.Tick(pa) // e1 = send
+	b.Merge(a)
+	b.Tick(pb) // e2 = recv
+	if !a.HappensBefore(b) {
+		t.Errorf("send must happen-before recv: %v vs %v", a, b)
+	}
+	if b.HappensBefore(a) {
+		t.Error("recv happens-before send?!")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// Chain a → b → c through two messages.
+	a, b, c := New(), New(), New()
+	a.Tick(pa)
+	b.Merge(a)
+	b.Tick(pb)
+	snapshotB := b.Clone()
+	c.Merge(b)
+	c.Tick(pc)
+	if !a.HappensBefore(snapshotB) || !snapshotB.HappensBefore(c) || !a.HappensBefore(c) {
+		t.Error("happens-before must be transitive across a message chain")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := New()
+	v.Tick(pa)
+	c := v.Clone()
+	c.Tick(pa)
+	if v.Get(pa) != 1 || c.Get(pa) != 2 {
+		t.Errorf("clone aliasing: v=%v c=%v", v, c)
+	}
+}
+
+func TestMergeIsComponentwiseMax(t *testing.T) {
+	v := VC{pa: 3, pb: 1}
+	o := VC{pa: 1, pb: 5, pc: 2}
+	v.Merge(o)
+	want := VC{pa: 3, pb: 5, pc: 2}
+	if v.Compare(want) != Equal {
+		t.Errorf("Merge = %v, want %v", v, want)
+	}
+}
+
+// randomRun simulates a message-passing run and returns the event clocks in
+// true temporal order, so later events can never happen-before earlier ones
+// on the same process, and Compare must agree with message causality.
+func randomRun(seed int64, steps int) []VC {
+	rng := rand.New(rand.NewSource(seed))
+	procs := []ids.ProcID{pa, pb, pc}
+	clocks := map[ids.ProcID]VC{pa: New(), pb: New(), pc: New()}
+	type msg struct{ stamp VC }
+	var inflight []msg
+	var out []VC
+	for i := 0; i < steps; i++ {
+		p := procs[rng.Intn(len(procs))]
+		switch rng.Intn(3) {
+		case 0: // internal
+			clocks[p].Tick(p)
+		case 1: // send
+			clocks[p].Tick(p)
+			inflight = append(inflight, msg{stamp: clocks[p].Clone()})
+		case 2: // receive (if possible)
+			if len(inflight) == 0 {
+				clocks[p].Tick(p)
+				break
+			}
+			k := rng.Intn(len(inflight))
+			clocks[p].Merge(inflight[k].stamp)
+			clocks[p].Tick(p)
+			inflight = append(inflight[:k], inflight[k+1:]...)
+		}
+		out = append(out, clocks[p].Clone())
+	}
+	return out
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		evs := randomRun(seed, 60)
+		for i := range evs {
+			for j := range evs {
+				ij, ji := evs[i].Compare(evs[j]), evs[j].Compare(evs[i])
+				switch ij {
+				case Before:
+					if ji != After {
+						return false
+					}
+				case After:
+					if ji != Before {
+						return false
+					}
+				case Equal:
+					if ji != Equal {
+						return false
+					}
+				case Concurrent:
+					if ji != Concurrent {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrontierOrders(t *testing.T) {
+	c := Frontier{pa: 1, pb: 2}
+	d := Frontier{pa: 2, pb: 3}
+	if !c.Leq(d) {
+		t.Error("c ≤ d expected")
+	}
+	if d.Leq(c) {
+		t.Error("d ≤ c unexpected")
+	}
+	if !c.StrictlyLess(d) {
+		t.Error("c << d expected")
+	}
+	e := Frontier{pa: 2, pb: 2}
+	if c.StrictlyLess(e) {
+		t.Error("c << e should fail: pb not strictly longer")
+	}
+	if !c.Leq(e) {
+		t.Error("c ≤ e expected")
+	}
+	cl := c.Clone()
+	cl[pa] = 99
+	if c[pa] != 1 {
+		t.Error("Frontier.Clone aliased")
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	for o, want := range map[Ordering]string{
+		Before: "before", After: "after", Equal: "equal", Concurrent: "concurrent",
+	} {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}

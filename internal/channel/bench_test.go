@@ -1,0 +1,34 @@
+package channel
+
+import (
+	"fmt"
+	"testing"
+
+	"procgroup/internal/sim"
+)
+
+// BenchmarkABPUnderLoss measures the §3 channel layer: simulated deliveries
+// per second while pushing a message stream through increasing loss rates.
+func BenchmarkABPUnderLoss(b *testing.B) {
+	for _, loss := range []float64{0, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sched := sim.NewScheduler(int64(i + 1))
+				delivered := 0
+				send, _ := Pair(sched, sched.Rand(), loss, 0.1, 1, 10, 30, func(any) {
+					delivered++
+				})
+				const stream = 64
+				sched.At(0, func() {
+					for k := 0; k < stream; k++ {
+						send(k)
+					}
+				})
+				sched.Run()
+				if delivered != stream {
+					b.Fatalf("delivered %d of %d", delivered, stream)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/trace"
+)
+
+// syntheticRun builds a large clean trace: rounds of suspicion → removal →
+// install, propagated by commit messages, shrinking a 32-process group.
+func syntheticRun(rounds int) (*trace.Recorder, []ids.ProcID) {
+	procs := ids.Gen(32)
+	r := trace.NewRecorder(nil)
+	for _, p := range procs {
+		r.RecordStart(p)
+	}
+	members := append([]ids.ProcID(nil), procs...)
+	for _, p := range procs {
+		r.RecordInstall(p, 0, members)
+	}
+	var msg int64
+	for g := 1; g <= rounds; g++ {
+		victim := members[len(members)-1]
+		members = members[:len(members)-1]
+		coord := members[0]
+		ver := member.Version(g)
+		r.RecordInternal(coord, event.Faulty, victim)
+		r.RecordInternal(coord, event.Remove, victim)
+		r.RecordInstall(coord, ver, members)
+		for _, p := range members[1:] {
+			msg++
+			r.RecordSend(coord, p, msg, "Commit")
+			r.RecordRecv(coord, p, msg, "Commit")
+			r.RecordInternal(p, event.Faulty, victim)
+			r.RecordInternal(p, event.Remove, victim)
+			r.RecordInstall(p, ver, members)
+		}
+	}
+	return r, procs
+}
+
+func TestSyntheticRunIsClean(t *testing.T) {
+	r, procs := syntheticRun(8)
+	rep := Run(Input{Recorder: r, Initial: procs, Alive: func(p ids.ProcID) bool {
+		// The removed tail is "dead"; the first 24 survive.
+		for _, q := range procs[:24] {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}})
+	if !rep.OK() {
+		t.Fatalf("synthetic run flagged: %v", rep)
+	}
+}
+
+// BenchmarkCheckerOnLargeTrace measures full GMP verification (properties,
+// cuts, knowledge chain) over a ~2500-event run.
+func BenchmarkCheckerOnLargeTrace(b *testing.B) {
+	r, procs := syntheticRun(16)
+	alive := func(p ids.ProcID) bool {
+		for _, q := range procs[:16] {
+			if p == q {
+				return true
+			}
+		}
+		return false
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rep := Run(Input{Recorder: r, Initial: procs, Alive: alive}); !rep.OK() {
+			b.Fatalf("clean run flagged: %v", rep)
+		}
+	}
+}

@@ -1,0 +1,383 @@
+// Package check verifies recorded runs against the paper's specification:
+// the six GMP properties of §2.3 and the consistent-cut structure of
+// Theorem 6.1. The checker is protocol-agnostic — it reads only the event
+// trace — which is what lets the same machinery certify the core protocol
+// and convict the §7.3 baselines.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/trace"
+)
+
+// Violation is one failed property instance.
+type Violation struct {
+	// Property names the failed clause: "GMP-0" … "GMP-5", "CONV", "CUT".
+	Property string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Property + ": " + v.Detail }
+
+// Report is the outcome of checking one run.
+type Report struct {
+	Violations []Violation
+}
+
+// OK reports whether every property held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Of returns the violations of one property.
+func (r *Report) Of(property string) []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Property == property {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String lists the violations, or "all GMP properties hold".
+func (r *Report) String() string {
+	if r.OK() {
+		return "all GMP properties hold"
+	}
+	parts := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "\n")
+}
+
+func (r *Report) addf(property, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Property: property,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Input bundles what the checker needs about a finished run.
+type Input struct {
+	// Recorder holds the trace.
+	Recorder *trace.Recorder
+	// Initial is the bootstrap membership (GMP-0's Proc).
+	Initial []ids.ProcID
+	// Alive reports whether a process was still executing at the end of
+	// the run; nil treats every process as alive (strictest reading).
+	Alive func(ids.ProcID) bool
+}
+
+// Run evaluates every property and returns the report.
+func Run(in Input) *Report {
+	r := &Report{}
+	events := in.Recorder.Events()
+	procs := in.Recorder.Procs()
+	alive := in.Alive
+	if alive == nil {
+		alive = func(ids.ProcID) bool { return true }
+	}
+
+	viewLogs := make(map[ids.ProcID][]trace.ViewRecord, len(procs))
+	for _, p := range procs {
+		viewLogs[p] = in.Recorder.ViewLog(p)
+	}
+
+	checkGMP0(r, in.Initial, procs, viewLogs)
+	checkGMP1(r, events)
+	checkGMP23(r, procs, viewLogs)
+	checkGMP4(r, procs, viewLogs)
+	checkGMP5(r, events, procs, viewLogs, alive)
+	checkConvergence(r, procs, viewLogs, alive)
+	checkCuts(r, events, procs, viewLogs)
+	checkKnowledge(r, events)
+	return r
+}
+
+// checkKnowledge verifies the Appendix's Equation 4:
+//
+//	(ver(p) = x) ⇒ K_p ◇ IsSysView(x−1)
+//
+// operationally: when p installs version x it must already know — i.e.
+// hold in its causal past — an installation of version x−1, because over
+// FIFO channels the commit "!x" follows "!x−1" from the coordinator. A
+// protocol that lets a process reach version x without any causal witness
+// of version x−1 has broken the knowledge chain that Theorem 6.1's view
+// sequence rests on.
+func checkKnowledge(r *Report, events []event.Event) {
+	var installs []event.Event
+	for _, e := range events {
+		if e.Kind == event.InstallView {
+			installs = append(installs, e)
+		}
+	}
+	for _, e := range installs {
+		if e.Ver == 0 {
+			continue // Sys⁰ is commonly known at startup (GMP-0)
+		}
+		witnessed := false
+		for _, f := range installs {
+			if f.Ver == e.Ver-1 && f.Clock.LessEq(e.Clock) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			r.addf("KNOW", "%v installed v%d (event %d) with no install of v%d in its causal past (Eq. 4 broken)",
+				e.Proc, e.Ver, e.Index, e.Ver-1)
+		}
+	}
+}
+
+// checkGMP0: every initial member starts from the commonly-known view
+// Proc = Sys⁰ at version 0.
+func checkGMP0(r *Report, initial []ids.ProcID, procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord) {
+	initialSet := ids.NewSet(initial...)
+	for _, p := range procs {
+		if !initialSet.Has(p) {
+			continue // joiner: starts from a later view by design
+		}
+		log := logs[p]
+		if len(log) == 0 {
+			r.addf("GMP-0", "%v never installed the initial view", p)
+			continue
+		}
+		if log[0].Ver != 0 {
+			r.addf("GMP-0", "%v's first view is v%d, want v0", p, log[0].Ver)
+			continue
+		}
+		if !sameMembers(log[0].Members, initial) {
+			r.addf("GMP-0", "%v's initial view %v differs from Proc %v", p, log[0].Members, initial)
+		}
+	}
+}
+
+// checkGMP1: q ∉ Memb(p) ⇒ faulty_p(q) — every removal (and every quit
+// caused by exclusion) is preceded by a suspicion at the removing process.
+func checkGMP1(r *Report, events []event.Event) {
+	faultyBefore := make(map[[2]ids.ProcID]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case event.Faulty:
+			faultyBefore[[2]ids.ProcID{e.Proc, e.Other}] = true
+		case event.Remove:
+			if !faultyBefore[[2]ids.ProcID{e.Proc, e.Other}] {
+				r.addf("GMP-1", "%v removed %v without ever suspecting it (event %d)", e.Proc, e.Other, e.Index)
+			}
+		}
+	}
+}
+
+// checkGMP23: GMP-2 and GMP-3 — processes install consecutive versions, and
+// any two processes installing the same version install the same membership
+// (all see the same sequence of views; failed processes see a prefix).
+func checkGMP23(r *Report, procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord) {
+	byVer := make(map[member.Version][]ids.ProcID)
+	ref := make(map[member.Version][]ids.ProcID)
+	for _, p := range procs {
+		log := logs[p]
+		for i, vr := range log {
+			if i > 0 && vr.Ver != log[i-1].Ver+1 {
+				r.addf("GMP-3", "%v skipped from v%d to v%d", p, log[i-1].Ver, vr.Ver)
+			}
+			if prev, ok := ref[vr.Ver]; ok {
+				if !sameMembers(prev, vr.Members) {
+					r.addf("GMP-3", "view v%d differs: %v installed %v, %v installed %v",
+						vr.Ver, byVer[vr.Ver][0], prev, p, vr.Members)
+				}
+			} else {
+				ref[vr.Ver] = vr.Members
+			}
+			byVer[vr.Ver] = append(byVer[vr.Ver], p)
+		}
+	}
+}
+
+// checkGMP4: processes are never re-instated — once q leaves p's local
+// view, it never reappears in it.
+func checkGMP4(r *Report, procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord) {
+	for _, p := range procs {
+		gone := ids.NewSet()
+		var present ids.Set
+		for _, vr := range logs[p] {
+			now := ids.NewSet(vr.Members...)
+			if present != nil {
+				for q := range present {
+					if !now.Has(q) {
+						gone.Add(q)
+					}
+				}
+			}
+			for q := range now {
+				if gone.Has(q) {
+					r.addf("GMP-4", "%v re-instated %v at v%d", p, q, vr.Ver)
+				}
+			}
+			present = now
+		}
+	}
+}
+
+// checkGMP5: faulty_p(q) ⇒ ◇(out(q)) ∨ ◇(out(p)) — by the quiescent end of
+// the run, the suspicion must have resolved: suspect or suspecter is out of
+// the final view (or dead).
+func checkGMP5(r *Report, events []event.Event, procs []ids.ProcID,
+	logs map[ids.ProcID][]trace.ViewRecord, alive func(ids.ProcID) bool) {
+	final := finalViews(procs, logs, alive)
+	if final == nil {
+		return // no converged final view; CONV reports separately
+	}
+	inFinal := ids.NewSet(final...)
+	for _, e := range events {
+		if e.Kind != event.Faulty {
+			continue
+		}
+		p, q := e.Proc, e.Other
+		pIn := alive(p) && inFinal.Has(p)
+		qIn := alive(q) && inFinal.Has(q)
+		if pIn && qIn {
+			r.addf("GMP-5", "suspicion faulty_%v(%v) (event %d) never resolved: both remain in the final view",
+				p, q, e.Index)
+		}
+	}
+}
+
+// checkConvergence verifies that the run's end state contains exactly one
+// self-consistent system view: a view V such that every live member of V
+// reports V as its own final view (the operational reading of
+// Sys(c, S) = S, §2.2). Live processes outside V are allowed to hold stale
+// views — they are the "perceived faulty" processes that S1 has isolated
+// and that will never act inside the group again. Zero candidates means
+// the group lost its system view (Claim 7.1's divergence); two or more
+// with different membership is a split brain.
+func checkConvergence(r *Report, procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord, alive func(ids.ProcID) bool) {
+	anyLive := false
+	for _, p := range procs {
+		if alive(p) && len(logs[p]) > 0 {
+			anyLive = true
+			break
+		}
+	}
+	if !anyLive {
+		// Group extinction (e.g. a majority was lost and every initiator
+		// quit) is a liveness condition the paper explicitly allows — "no
+		// algorithm can make progress unless some recoveries occur" — not
+		// a divergence.
+		return
+	}
+	finals := selfConsistentFinals(procs, logs, alive)
+	switch {
+	case len(finals) == 0:
+		var summary []string
+		for _, p := range procs {
+			if alive(p) && len(logs[p]) > 0 {
+				last := logs[p][len(logs[p])-1]
+				summary = append(summary, fmt.Sprintf("%v@v%d%v", p, last.Ver, last.Members))
+			}
+		}
+		r.addf("CONV", "no self-consistent final system view exists: %s", strings.Join(summary, ", "))
+	case len(finals) > 1:
+		r.addf("CONV", "split brain: %d self-consistent final views: %v", len(finals), finals)
+	}
+}
+
+// selfConsistentFinals returns the distinct final views V for which every
+// live member of V holds V as its last installed view.
+func selfConsistentFinals(procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord, alive func(ids.ProcID) bool) [][]ids.ProcID {
+	last := make(map[ids.ProcID]trace.ViewRecord)
+	for _, p := range procs {
+		if alive(p) && len(logs[p]) > 0 {
+			last[p] = logs[p][len(logs[p])-1]
+		}
+	}
+	var out [][]ids.ProcID
+	seen := map[string]bool{}
+	for p, vr := range last {
+		members := ids.NewSet(vr.Members...)
+		if !members.Has(p) {
+			continue
+		}
+		ok := true
+		for _, q := range vr.Members {
+			qvr, live := last[q]
+			if !live {
+				continue // dead members see a prefix; that is allowed
+			}
+			if qvr.Ver != vr.Ver || !sameMembers(qvr.Members, vr.Members) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := members.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, members.Sorted())
+		}
+	}
+	return out
+}
+
+// finalViews returns the membership of the unique self-consistent final
+// view, or nil when none (or several) exist.
+func finalViews(procs []ids.ProcID, logs map[ids.ProcID][]trace.ViewRecord, alive func(ids.ProcID) bool) []ids.ProcID {
+	finals := selfConsistentFinals(procs, logs, alive)
+	if len(finals) != 1 {
+		return nil
+	}
+	return finals[0]
+}
+
+// checkCuts verifies the cut structure of GMP-2 / Theorem 6.1: for every
+// version x there must EXIST a consistent cut c_x whose frontier includes
+// all version-≤x installations and no later ones, and these cuts must be
+// totally ordered (c_x << c_{x+1}). Taking c_x as the causal past-closure
+// of the version-x install events (which is consistent by construction),
+// existence fails exactly when some install of a version y > x lies in the
+// causal past of an install of version x — so that is what we check, via
+// the events' vector clocks. Eq. 3's "quit_p otherwise" clause is covered:
+// crashed processes contribute their whole (terminated) history, which is
+// always closure-safe because a crashed process influences nobody.
+func checkCuts(r *Report, events []event.Event, _ []ids.ProcID, _ map[ids.ProcID][]trace.ViewRecord) {
+	var installs []event.Event
+	for _, e := range events {
+		if e.Kind == event.InstallView {
+			installs = append(installs, e)
+		}
+	}
+	for _, lo := range installs {
+		for _, hi := range installs {
+			if hi.Ver <= lo.Ver {
+				continue
+			}
+			// hi (a later view) must not be causally at-or-before lo:
+			// otherwise lo's cut would have to contain hi, and the view
+			// sequence could not be separated into c_lo << c_hi.
+			if hi.Clock.LessEq(lo.Clock) {
+				r.addf("CUT", "install of v%d at %v (event %d) lies in the causal past of install of v%d at %v (event %d): no consistent cut separates the views",
+					hi.Ver, hi.Proc, hi.Index, lo.Ver, lo.Proc, lo.Index)
+			}
+		}
+	}
+}
+
+func sameMembers(a, b []ids.ProcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := ids.NewSet(a...)
+	for _, q := range b {
+		if !as.Has(q) {
+			return false
+		}
+	}
+	return true
+}

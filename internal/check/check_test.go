@@ -1,0 +1,326 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/trace"
+)
+
+// mk builds a recorder pre-loaded with starts for the given processes.
+func mk(procs ...ids.ProcID) *trace.Recorder {
+	r := trace.NewRecorder(nil)
+	for _, p := range procs {
+		r.RecordStart(p)
+	}
+	return r
+}
+
+func allAlive(ids.ProcID) bool { return true }
+
+func TestCleanRunPasses(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	// a suspects b, removes it; b is dead.
+	r.RecordInternal(a, event.Faulty, b)
+	r.RecordInternal(a, event.Remove, b)
+	r.RecordInstall(a, 1, []ids.ProcID{a})
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: func(p ids.ProcID) bool { return p == a }})
+	if !rep.OK() {
+		t.Fatalf("clean run flagged: %v", rep)
+	}
+	if rep.String() != "all GMP properties hold" {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestGMP0MissingInitialView(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	// b never installs v0.
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("GMP-0")) == 0 {
+		t.Errorf("missing initial view not flagged: %v", rep)
+	}
+}
+
+func TestGMP0WrongInitialMembership(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, []ids.ProcID{b}) // wrong Proc
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("GMP-0")) == 0 {
+		t.Errorf("wrong initial membership not flagged: %v", rep)
+	}
+}
+
+func TestGMP1RemovalWithoutSuspicion(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Remove, b) // capricious removal
+	r.RecordInstall(a, 1, []ids.ProcID{a})
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: func(p ids.ProcID) bool { return p == a }})
+	if len(rep.Of("GMP-1")) == 0 {
+		t.Errorf("capricious removal not flagged: %v", rep)
+	}
+}
+
+func TestGMP3DivergentViews(t *testing.T) {
+	a, b, x, y := ids.Named("a"), ids.Named("b"), ids.Named("x"), ids.Named("y")
+	initial := []ids.ProcID{a, b, x, y}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b, y})
+	r.RecordInternal(b, event.Faulty, y)
+	r.RecordInternal(b, event.Remove, y)
+	r.RecordInstall(b, 1, []ids.ProcID{a, b, x}) // same version, different view
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("GMP-3")) == 0 {
+		t.Errorf("divergent v1 not flagged: %v", rep)
+	}
+}
+
+func TestGMP3SkippedVersion(t *testing.T) {
+	a := ids.Named("a")
+	r := mk(a)
+	r.RecordInstall(a, 0, []ids.ProcID{a})
+	r.RecordInstall(a, 2, []ids.ProcID{a}) // skipped v1
+	rep := Run(Input{Recorder: r, Initial: []ids.ProcID{a}, Alive: allAlive})
+	if len(rep.Of("GMP-3")) == 0 {
+		t.Errorf("skipped version not flagged: %v", rep)
+	}
+}
+
+func TestGMP4Reinstatement(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInternal(a, event.Faulty, b)
+	r.RecordInternal(a, event.Remove, b)
+	r.RecordInstall(a, 1, []ids.ProcID{a})
+	r.RecordInstall(a, 2, initial) // b comes back — forbidden
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("GMP-4")) == 0 {
+		t.Errorf("re-instatement not flagged: %v", rep)
+	}
+}
+
+func TestGMP5UnresolvedSuspicion(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, b)
+	// Run ends with both still in the (only) view: never resolved.
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("GMP-5")) == 0 {
+		t.Errorf("unresolved suspicion not flagged: %v", rep)
+	}
+}
+
+func TestGMP5ResolvedBySuspecterLeaving(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, b) // a suspects b…
+	r.RecordInternal(b, event.Faulty, a) // …but the group removes a instead
+	r.RecordInternal(b, event.Remove, a)
+	r.RecordInstall(b, 1, []ids.ProcID{b})
+	rep := Run(Input{Recorder: r, Initial: initial,
+		Alive: func(p ids.ProcID) bool { return p == b }})
+	if !rep.OK() {
+		t.Errorf("out(p) resolution should satisfy GMP-5: %v", rep)
+	}
+}
+
+func TestConvergenceDivergentFinals(t *testing.T) {
+	a, b, x := ids.Named("a"), ids.Named("b"), ids.Named("x")
+	initial := []ids.ProcID{a, b, x}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b})
+	// b never learns; run "ends" with a at v1 and b at v0.
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("CONV")) == 0 {
+		t.Errorf("divergent final views not flagged: %v", rep)
+	}
+}
+
+func TestCutViolationLaterInstallInCausalPast(t *testing.T) {
+	// Build a run where b installs v1 causally AFTER a already installed
+	// v2: no consistent cut can then contain all v1 installs and no v2
+	// install, so the Views(r) sequence of GMP-2 cannot exist.
+	a, b, x, y := ids.Named("a"), ids.Named("b"), ids.Named("x"), ids.Named("y")
+	initial := []ids.ProcID{a, b, x, y}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b, y})
+	r.RecordInternal(a, event.Faulty, y)
+	r.RecordInternal(a, event.Remove, y)
+	r.RecordInstall(a, 2, []ids.ProcID{a, b})
+	r.RecordSend(a, b, 77, "M") // carries knowledge of v2
+	r.RecordRecv(a, b, 77, "M")
+	r.RecordInternal(b, event.Faulty, x)
+	r.RecordInternal(b, event.Remove, x)
+	r.RecordInstall(b, 1, []ids.ProcID{a, b, y}) // v1 after seeing v2
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("CUT")) == 0 {
+		t.Errorf("install-order inversion not flagged: %v", rep)
+	}
+}
+
+func TestCutConsistentNormalOrder(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	x := ids.Named("x")
+	initial := []ids.ProcID{a, b, x}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b})
+	r.RecordSend(a, b, 5, "Commit")
+	r.RecordRecv(a, b, 5, "Commit")
+	r.RecordInternal(b, event.Faulty, x)
+	r.RecordInternal(b, event.Remove, x)
+	r.RecordInstall(b, 1, []ids.ProcID{a, b})
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("CUT")) != 0 {
+		t.Errorf("consistent run flagged: %v", rep)
+	}
+}
+
+func TestSplitBrainDetected(t *testing.T) {
+	// Two disjoint halves each form a self-consistent view of their own:
+	// both "system views" exist simultaneously — CONV must flag it.
+	a, b, c, d := ids.Named("a"), ids.Named("b"), ids.Named("c"), ids.Named("d")
+	initial := []ids.ProcID{a, b, c, d}
+	r := mk(a, b, c, d)
+	for _, p := range initial {
+		r.RecordInstall(p, 0, initial)
+	}
+	for _, p := range []ids.ProcID{a, b} {
+		r.RecordInternal(p, event.Faulty, c)
+		r.RecordInternal(p, event.Remove, c)
+		r.RecordInternal(p, event.Faulty, d)
+		r.RecordInternal(p, event.Remove, d)
+		r.RecordInstall(p, 1, []ids.ProcID{a, b})
+		r.RecordInstall(p, 2, []ids.ProcID{a, b})
+	}
+	for _, p := range []ids.ProcID{c, d} {
+		r.RecordInternal(p, event.Faulty, a)
+		r.RecordInternal(p, event.Remove, a)
+		r.RecordInternal(p, event.Faulty, b)
+		r.RecordInternal(p, event.Remove, b)
+		r.RecordInstall(p, 1, []ids.ProcID{c, d})
+		r.RecordInstall(p, 2, []ids.ProcID{c, d})
+	}
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	found := false
+	for _, v := range rep.Of("CONV") {
+		if strings.Contains(v.Detail, "split brain") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("split brain not flagged: %v", rep)
+	}
+}
+
+func TestGroupExtinctionIsNotDivergence(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	initial := []ids.ProcID{a, b}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	rep := Run(Input{Recorder: r, Initial: initial,
+		Alive: func(ids.ProcID) bool { return false }})
+	if len(rep.Of("CONV")) != 0 {
+		t.Errorf("extinct group flagged as divergent: %v", rep)
+	}
+}
+
+func TestKnowledgeViolationFlagged(t *testing.T) {
+	// b jumps to v2 with no causal witness of v1 anywhere in its past:
+	// Eq. 4's knowledge chain is broken even though b's own log is
+	// (deliberately) also GMP-3-broken. The KNOW check must fire
+	// independently.
+	a, b, x, y := ids.Named("a"), ids.Named("b"), ids.Named("x"), ids.Named("y")
+	initial := []ids.ProcID{a, b, x, y}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	// a legitimately reaches v1.
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b, y})
+	// b leaps to v2 without ever hearing from a.
+	r.RecordInternal(b, event.Faulty, x)
+	r.RecordInternal(b, event.Remove, x)
+	r.RecordInternal(b, event.Faulty, y)
+	r.RecordInternal(b, event.Remove, y)
+	r.RecordInstall(b, 2, []ids.ProcID{a, b})
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("KNOW")) == 0 {
+		t.Errorf("missing v1 witness not flagged: %v", rep)
+	}
+}
+
+func TestKnowledgeSatisfiedByMessageChain(t *testing.T) {
+	a, b, x := ids.Named("a"), ids.Named("b"), ids.Named("x")
+	initial := []ids.ProcID{a, b, x}
+	r := mk(a, b)
+	r.RecordInstall(a, 0, initial)
+	r.RecordInstall(b, 0, initial)
+	r.RecordInternal(a, event.Faulty, x)
+	r.RecordInternal(a, event.Remove, x)
+	r.RecordInstall(a, 1, []ids.ProcID{a, b})
+	r.RecordSend(a, b, 9, "Commit")
+	r.RecordRecv(a, b, 9, "Commit")
+	r.RecordInternal(b, event.Faulty, x)
+	r.RecordInternal(b, event.Remove, x)
+	r.RecordInstall(b, 1, []ids.ProcID{a, b})
+	rep := Run(Input{Recorder: r, Initial: initial, Alive: allAlive})
+	if len(rep.Of("KNOW")) != 0 {
+		t.Errorf("legitimate chain flagged: %v", rep)
+	}
+}
+
+func TestViolationStringAndOf(t *testing.T) {
+	v := Violation{Property: "GMP-1", Detail: "boom"}
+	if v.String() != "GMP-1: boom" {
+		t.Errorf("Violation.String = %q", v.String())
+	}
+	rep := &Report{Violations: []Violation{v, {Property: "CUT", Detail: "x"}}}
+	if len(rep.Of("GMP-1")) != 1 || len(rep.Of("CUT")) != 1 || len(rep.Of("GMP-9")) != 0 {
+		t.Error("Of() filtering broken")
+	}
+	if !strings.Contains(rep.String(), "boom") {
+		t.Errorf("Report.String = %q", rep.String())
+	}
+}

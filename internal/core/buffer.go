@@ -1,0 +1,68 @@
+package core
+
+// Future-view message buffering (§3): "there be no messages from future
+// views … the latter involves adding view numbers to messages so that they
+// can be delayed when received from a process in a future view (i.e. until
+// that view is installed locally)". Invitations and commits carry the view
+// version they produce; when one arrives more than a step ahead of the
+// local view, it is held back and replayed after every install.
+// Reconfiguration traffic deliberately bypasses this layer (§4.1, footnote
+// 10): interrogations must be able to cross version-inconsistent states.
+
+import (
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// heldMessage is one buffered future-view message.
+type heldMessage struct {
+	from    ids.ProcID
+	payload any
+	ver     member.Version // version the message belongs to
+}
+
+// bufferIfFuture holds back update messages that run ahead of the local
+// view. It returns true when the message was buffered (or dropped as
+// unusable) and must not be dispatched now.
+func (n *Node) bufferIfFuture(from ids.ProcID, payload any) bool {
+	var ver member.Version
+	switch m := payload.(type) {
+	case Invite:
+		ver = m.Ver
+	case Commit:
+		ver = m.Ver
+	case OK:
+		ver = m.Ver
+	default:
+		return false // reconfiguration and bookkeeping traffic bypasses
+	}
+	if ver <= n.view.Version()+1 {
+		return false
+	}
+	n.held = append(n.held, heldMessage{from: from, payload: payload, ver: ver})
+	return true
+}
+
+// drainHeld redelivers buffered messages that the latest install has made
+// current. It runs after every install; messages still in the future stay
+// buffered, and messages from since-isolated senders are discarded (S1).
+func (n *Node) drainHeld() {
+	if len(n.held) == 0 {
+		return
+	}
+	pending := n.held
+	n.held = nil
+	for _, h := range pending {
+		if !n.alive {
+			return
+		}
+		if n.isolated.Has(h.from) {
+			continue
+		}
+		if h.ver > n.view.Version()+1 {
+			n.held = append(n.held, h)
+			continue
+		}
+		n.Deliver(h.from, h.payload)
+	}
+}

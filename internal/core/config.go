@@ -1,0 +1,73 @@
+package core
+
+import (
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// Env is the runtime a Node executes against. The simulator and the live
+// goroutine runtime provide different implementations; the protocol code is
+// identical over both. All Env methods are invoked from within the node's
+// (single-threaded) event handlers.
+type Env interface {
+	// Send transmits a protocol payload to another process.
+	Send(to ids.ProcID, payload any)
+	// After schedules fn after d abstract ticks (virtual time in the
+	// simulator, milliseconds live) and returns a cancel function. fn
+	// runs serialized with message delivery.
+	After(d int64, fn func()) (cancel func())
+	// Quit halts this process permanently; the environment treats it
+	// exactly like a crash (quit_p in the model, §2.1).
+	Quit()
+	// Record logs a protocol-internal event (faulty, remove, initiate…).
+	Record(k event.Kind, other ids.ProcID)
+	// RecordInstall logs a completed local view transition.
+	RecordInstall(ver member.Version, members []ids.ProcID)
+}
+
+// Config tunes which variant of the algorithm a node runs.
+type Config struct {
+	// Compression enables §3.1's condensed rounds: a commit carrying a
+	// contingent next operation doubles as the next invitation
+	// (2n−3 messages per exclusion instead of 3n−5). The paper's final
+	// algorithm compresses; disabling reproduces the plain two-phase
+	// numbers.
+	Compression bool
+	// MajorityCheck makes the coordinator require a majority of OKs
+	// before committing (the §7.1 final algorithm). With it disabled the
+	// basic §3.1 algorithm tolerates |Memb|−1 failures but is only safe
+	// while the coordinator cannot fail. After a node has participated
+	// in any reconfiguration it enforces the majority gate regardless
+	// ("Observe that Mgr must henceforth garner responses from a
+	// majority of processes before it can commit any removals", §4.5).
+	MajorityCheck bool
+	// ReconfigWait is how long a process that suspects the coordinator
+	// waits for a higher-ranked process to start reconfiguration before
+	// suspecting that process too (Table 1's "Eventually" row). Zero
+	// disables the timeout; suspicions then come only from the failure
+	// detector.
+	ReconfigWait int64
+	// JoinRetry is how long a joiner waits for its StateTransfer before
+	// re-sending the join request to its contact (the original may have
+	// died with a failed coordinator). Zero disables retries.
+	JoinRetry int64
+	// TwoPhaseReconfig is the §7.3 strawman: reconfiguration skips the
+	// proposal phase and commits straight after interrogation. Claim 7.2
+	// proves this cannot solve GMP — without the Phase-II majority there
+	// is no way to detect which of two competing proposals was committed
+	// invisibly. It exists only so the baseline suite can demonstrate the
+	// resulting GMP-3 violation; never enable it in real configurations.
+	TwoPhaseReconfig bool
+}
+
+// DefaultConfig is the paper's final algorithm: compression on, majority
+// gate on, initiation timeout armed.
+func DefaultConfig() Config {
+	return Config{
+		Compression:   true,
+		MajorityCheck: true,
+		ReconfigWait:  400,
+		JoinRetry:     800,
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+// Determine and GetStable (Fig. 6): from a majority of Phase-I responses,
+// compute the unique proposal that is consistent with every update that
+// might have been committed invisibly (§4.4, §5). The version-argument
+// ambiguities in the TR's figure are resolved as documented in DESIGN.md §3.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// errSeqDiverged signals a violation of Theorem 5.1 (equal versions must
+// imply equal sequences); it can only arise from a protocol bug or from
+// deliberately weakened baselines.
+var errSeqDiverged = errors.New("phase-I sequences are not prefix-ordered")
+
+// proposal is one element of ProposalsForVer(x, r): an operation some
+// respondent expected to be committed for version x, together with the
+// lowest-ranked coordinator observed proposing it.
+type proposal struct {
+	op    member.Op
+	coord ids.ProcID
+}
+
+// determine computes (RL_r, v, invis): the operations to propose, the
+// version their installation produces, and the contingent operation for
+// the round after reconfiguration.
+func (n *Node) determine() (rl member.Seq, ver member.Version, invis member.Op, err error) {
+	myVer := n.view.Version()
+	// Iterate respondents deterministically; Theorem 5.1 makes any
+	// representative of L (resp. S) equivalent, but reproducible runs
+	// must not depend on map order.
+	responders := make([]ids.ProcID, 0, len(n.reconf.responses))
+	for p := range n.reconf.responses {
+		responders = append(responders, p)
+	}
+	sort.Slice(responders, func(i, j int) bool { return responders[i].Less(responders[j]) })
+	var longest, shortest *InterrogateOK
+	for _, p := range responders {
+		if p == n.id {
+			continue
+		}
+		resp := n.reconf.responses[p]
+		switch resp.Ver {
+		case myVer + 1:
+			if longest == nil {
+				longest = &resp
+			}
+		case myVer - 1:
+			if shortest == nil {
+				shortest = &resp
+			}
+		}
+	}
+
+	switch {
+	case longest != nil:
+		// Incomplete installation of version ver(L): someone is one
+		// update ahead of us; propagate exactly that update.
+		ver = longest.Ver
+		rl, err = longest.Seq.Minus(n.seq)
+		if err != nil {
+			return nil, 0, member.NilOp, fmt.Errorf("%w: %v", errSeqDiverged, err)
+		}
+		invis = n.chooseInvis(ver+1, rl)
+	case shortest != nil:
+		// Incomplete installation of our own version: re-propose it so
+		// the laggards catch up and the version becomes stable.
+		ver = myVer
+		rl, err = n.seq.Minus(shortest.Seq)
+		if err != nil {
+			return nil, 0, member.NilOp, fmt.Errorf("%w: %v", errSeqDiverged, err)
+		}
+		invis = n.chooseInvis(ver+1, rl)
+	default:
+		// All respondents agree on our version; the contested question
+		// is what version ver(r)+1 should be.
+		ver = myVer + 1
+		pfv := n.proposalsForVer(ver)
+		switch len(pfv) {
+		case 0:
+			// Nobody heard any plan: the failed coordinator itself is
+			// the only safe removal (line D.4).
+			rl = member.Seq{member.Remove(n.mgr)}
+		case 1:
+			rl = member.Seq{pfv[0].op} // line D.5
+		default:
+			rl = member.Seq{n.getStable(pfv)} // line D.6
+		}
+		invis = n.chooseInvis(ver+1, rl)
+	}
+	return rl, ver, invis, nil
+}
+
+// chooseInvis picks the contingent operation for version x: the invisible-
+// commit candidate among the respondents' expectations if there is one,
+// otherwise the coordinator queues' next entry (lines D.1–D.3).
+func (n *Node) chooseInvis(x member.Version, rl member.Seq) member.Op {
+	pfv := n.proposalsForVer(x)
+	switch len(pfv) {
+	case 0:
+		exclude := ids.NewSet()
+		for _, op := range rl {
+			exclude.Add(op.Target)
+		}
+		return n.nextOp(exclude)
+	case 1:
+		return pfv[0].op
+	default:
+		return n.getStable(pfv)
+	}
+}
+
+// proposalsForVer builds ProposalsForVer(x, r) from the Phase-I responses:
+// every concrete next-triple for version x, deduplicated by operation, each
+// retaining the lowest-ranked coordinator seen proposing it. The result is
+// deterministically ordered.
+func (n *Node) proposalsForVer(x member.Version) []proposal {
+	byOp := make(map[member.Op]ids.ProcID)
+	for _, resp := range n.reconf.responses {
+		for _, t := range resp.Next {
+			if t.Wildcard || t.Ver != x || t.Op.IsNil() {
+				continue
+			}
+			cur, seen := byOp[t.Op]
+			if !seen || n.coordRank(t.Coord) < n.coordRank(cur) {
+				byOp[t.Op] = t.Coord
+			}
+		}
+	}
+	out := make([]proposal, 0, len(byOp))
+	for op, coord := range byOp {
+		out = append(out, proposal{op: op, coord: coord})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].op.Target != out[j].op.Target {
+			return out[i].op.Target.Less(out[j].op.Target)
+		}
+		return out[i].op.Kind < out[j].op.Kind
+	})
+	return out
+}
+
+// coordRank ranks a proposer for GetStable. Proposers absent from the view
+// sort below everyone: their proposal epoch has passed.
+func (n *Node) coordRank(p ids.ProcID) int { return n.view.Rank(p) }
+
+// getStable implements GetStable(r, x) and embodies Prop. 5.6: of the (at
+// most two) proposals for a version, only the one from the lowest-ranked
+// proposer can have been committed invisibly — a lower-ranked initiator
+// only got to propose because the higher-ranked proposer's commit provably
+// failed to assemble a majority. Propagating it keeps the system consistent
+// with any invisible commit (Cor. 5.2).
+func (n *Node) getStable(pfv []proposal) member.Op {
+	best := pfv[0]
+	for _, cand := range pfv[1:] {
+		if n.coordRank(cand.coord) < n.coordRank(best.coord) {
+			best = cand
+		}
+	}
+	return best.op
+}

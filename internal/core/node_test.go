@@ -1,0 +1,540 @@
+package core
+
+// White-box unit tests for the node's internals: the future-view buffer
+// (§3), the Determine/GetStable case analysis (Fig. 6), queue ordering,
+// and the S1/gossip bookkeeping. Protocol-level behaviour is covered by
+// the black-box tests in protocol_test.go / paper_scenarios_test.go.
+
+import (
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// stubEnv is a minimal core.Env that records outputs synchronously.
+type stubEnv struct {
+	id   ids.ProcID
+	sent []struct {
+		To      ids.ProcID
+		Payload any
+	}
+	events   []event.Kind
+	installs []member.Version
+	quit     bool
+	timers   []func()
+}
+
+func (e *stubEnv) Send(to ids.ProcID, payload any) {
+	e.sent = append(e.sent, struct {
+		To      ids.ProcID
+		Payload any
+	}{to, payload})
+}
+
+func (e *stubEnv) After(_ int64, fn func()) func() {
+	e.timers = append(e.timers, fn)
+	return func() {}
+}
+
+func (e *stubEnv) Quit() { e.quit = true }
+
+func (e *stubEnv) Record(k event.Kind, _ ids.ProcID) { e.events = append(e.events, k) }
+
+func (e *stubEnv) RecordInstall(v member.Version, _ []ids.ProcID) {
+	e.installs = append(e.installs, v)
+}
+
+// mkNode builds a bootstrapped node with n members; the node under test is
+// member at index idx.
+func mkNode(n, idx int, cfg Config) (*Node, *stubEnv, []ids.ProcID) {
+	procs := ids.Gen(n)
+	env := &stubEnv{id: procs[idx]}
+	node := New(procs[idx], env, cfg)
+	node.Bootstrap(procs)
+	return node, env, procs
+}
+
+func TestBufferHoldsFutureCommit(t *testing.T) {
+	node, env, procs := mkNode(4, 1, DefaultConfig())
+	mgr := procs[0]
+
+	// A commit for v2 arrives before v1 (cannot happen over FIFO from one
+	// coordinator, but §3's buffering layer must cope regardless).
+	c2 := Commit{Op: member.Remove(procs[3]), Ver: 2}
+	node.Deliver(mgr, c2)
+	if got := node.View().Version(); got != 0 {
+		t.Fatalf("future commit applied early: v%d", got)
+	}
+	if len(node.held) != 1 {
+		t.Fatalf("future commit not buffered: held=%d", len(node.held))
+	}
+
+	// v1 arrives; the buffered v2 must drain right after it.
+	c1 := Commit{Op: member.Remove(procs[2]), Ver: 1}
+	node.Deliver(mgr, c1)
+	if got := node.View().Version(); got != 2 {
+		t.Fatalf("after drain, version = %d, want 2", got)
+	}
+	if node.View().Has(procs[2]) || node.View().Has(procs[3]) {
+		t.Errorf("view %v retains removed members", node.View())
+	}
+	if len(node.held) != 0 {
+		t.Errorf("buffer not drained: %v", node.held)
+	}
+	if len(env.installs) != 3 || env.installs[1] != 1 || env.installs[2] != 2 {
+		t.Errorf("installs = %v, want [0 1 2]", env.installs)
+	}
+}
+
+func TestBufferDiscardsIsolatedSenders(t *testing.T) {
+	node, _, procs := mkNode(4, 1, DefaultConfig())
+	mgr := procs[0]
+	node.Deliver(mgr, Commit{Op: member.Remove(procs[3]), Ver: 2})
+	if len(node.held) != 1 {
+		t.Fatal("not buffered")
+	}
+	// The sender becomes faulty before the buffered message is usable.
+	node.Suspect(mgr)
+	node.Deliver(procs[2], FaultyReport{Suspect: procs[3]}) // any delivery triggers drain attempt
+	if got := node.View().Version(); got != 0 {
+		t.Fatalf("buffered message from isolated sender applied: v%d", got)
+	}
+}
+
+func TestNextOpPrefersJoins(t *testing.T) {
+	node, _, procs := mkNode(4, 0, DefaultConfig())
+	node.applyFaulty(procs[3])
+	joiner := ids.Named("q1")
+	node.applyOperating(joiner)
+	op := node.nextOp(nil)
+	if op.Kind != member.OpAdd || op.Target != joiner {
+		t.Errorf("nextOp = %v, want add(q1) first (Fig. 8 drains Recovered first)", op)
+	}
+	op = node.nextOp(ids.NewSet(joiner))
+	if op.Kind != member.OpRemove || op.Target != procs[3] {
+		t.Errorf("nextOp with join excluded = %v, want remove(p4)", op)
+	}
+	if got := node.nextOp(ids.NewSet(joiner, procs[3])); !got.IsNil() {
+		t.Errorf("nextOp with all excluded = %v, want nil", got)
+	}
+}
+
+// reconfWith loads a Phase-I response set into a node ready for determine.
+func reconfWith(node *Node, resp map[ids.ProcID]InterrogateOK) {
+	node.reconf = &reconfState{phase: 1, responses: resp, phase2OK: ids.NewSet()}
+}
+
+func TestDetermineCaseAhead(t *testing.T) {
+	// L ≠ ∅: a respondent is one update ahead; propagate the difference.
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	node.Suspect(procs[0])
+	missing := member.Remove(procs[4])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[2]: {Ver: 1, Seq: member.Seq{missing}},
+		procs[3]: {Ver: 0},
+	})
+	rl, ver, invis, err := node.determine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || len(rl) != 1 || rl[0] != missing {
+		t.Errorf("determine = (%v, v%d), want ([remove p5], v1)", rl, ver)
+	}
+	// invis: nothing known for v2; the queue holds the suspected Mgr.
+	if invis != member.Remove(procs[0]) {
+		t.Errorf("invis = %v, want remove(p1)", invis)
+	}
+}
+
+func TestDetermineCaseBehindRespondent(t *testing.T) {
+	// S ≠ ∅: a respondent missed our last install; re-propose our version.
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	gone := member.Remove(procs[4])
+	if err := node.install(member.Seq{gone}); err != nil {
+		t.Fatal(err)
+	}
+	node.Suspect(procs[0])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[2]: {Ver: 0}, // behind
+		procs[3]: {Ver: 1, Seq: member.Seq{gone}},
+	})
+	rl, ver, invis, err := node.determine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || len(rl) != 1 || rl[0] != gone {
+		t.Errorf("determine = (%v, v%d), want ([remove p5], v1)", rl, ver)
+	}
+	if invis != member.Remove(procs[0]) {
+		t.Errorf("invis = %v, want remove(p1)", invis)
+	}
+}
+
+func TestDetermineCaseLevelNoProposals(t *testing.T) {
+	// L = S = ∅ and nobody heard a plan: propose the failed Mgr's removal
+	// (line D.4).
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	node.Suspect(procs[0])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[2]: {Ver: 0},
+		procs[3]: {Ver: 0},
+	})
+	rl, ver, _, err := node.determine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || len(rl) != 1 || rl[0] != member.Remove(procs[0]) {
+		t.Errorf("determine = (%v, v%d), want ([remove Mgr], v1)", rl, ver)
+	}
+}
+
+func TestDetermineCaseLevelOneProposal(t *testing.T) {
+	// L = S = ∅ with exactly Mgr's plan visible: propagate it (line D.5).
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	node.Suspect(procs[0])
+	plan := member.Remove(procs[4])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[2]: {Ver: 0, Next: member.Next{{Op: plan, Coord: procs[0], Ver: 1}}},
+		procs[3]: {Ver: 0},
+	})
+	rl, ver, invis, err := node.determine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || len(rl) != 1 || rl[0] != plan {
+		t.Errorf("determine = (%v, v%d), want ([remove p5], v1)", rl, ver)
+	}
+	if invis != member.Remove(procs[0]) {
+		t.Errorf("invis = %v, want remove(p1) from the queue", invis)
+	}
+}
+
+func TestDetermineCaseLevelTwoProposalsGetStable(t *testing.T) {
+	// L = S = ∅ with two competing proposals: GetStable must pick the
+	// lowest-ranked proposer's target (Prop. 5.6, line D.6).
+	node, _, procs := mkNode(6, 2, DefaultConfig())
+	node.Suspect(procs[0])
+	node.Suspect(procs[1])
+	mgrPlan := member.Remove(procs[5])    // proposed by Mgr (rank 6)
+	reconfPlan := member.Remove(procs[0]) // proposed by p2 (rank 5, lower)
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[3]: {Ver: 0, Next: member.Next{{Op: mgrPlan, Coord: procs[0], Ver: 1}}},
+		procs[4]: {Ver: 0, Next: member.Next{{Op: reconfPlan, Coord: procs[1], Ver: 1}}},
+	})
+	rl, ver, _, err := node.determine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 || len(rl) != 1 || rl[0] != reconfPlan {
+		t.Errorf("determine = (%v, v%d): GetStable must pick the lowest-ranked proposer's plan %v",
+			rl, ver, reconfPlan)
+	}
+}
+
+func TestDetermineRejectsDivergedSequences(t *testing.T) {
+	// A respondent ahead of us whose sequence does not extend ours is a
+	// Theorem 5.1 violation; determine must fail loudly, not guess.
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	if err := node.install(member.Seq{member.Remove(procs[4])}); err != nil {
+		t.Fatal(err)
+	}
+	node.Suspect(procs[0])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		node.id:  node.selfResponse(),
+		procs[2]: {Ver: 2, Seq: member.Seq{member.Remove(procs[3]), member.Remove(procs[2])}},
+	})
+	if _, _, _, err := node.determine(); err == nil {
+		t.Error("determine accepted non-prefix sequences")
+	}
+}
+
+func TestProposalsForVerDeduplicatesByOp(t *testing.T) {
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	plan := member.Remove(procs[4])
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		procs[2]: {Ver: 0, Next: member.Next{{Op: plan, Coord: procs[0], Ver: 1}}},
+		procs[3]: {Ver: 0, Next: member.Next{{Op: plan, Coord: procs[1], Ver: 1}}},
+	})
+	pfv := node.proposalsForVer(1)
+	if len(pfv) != 1 {
+		t.Fatalf("same op from two coordinators must count once: %v", pfv)
+	}
+	// The recorded proposer is the lowest-ranked one (p2 < p1 in rank).
+	if pfv[0].coord != procs[1] {
+		t.Errorf("kept coordinator %v, want the lower-ranked p2", pfv[0].coord)
+	}
+	// Wildcards and other versions are ignored.
+	reconfWith(node, map[ids.ProcID]InterrogateOK{
+		procs[2]: {Ver: 0, Next: member.Next{member.WildcardFor(procs[1]), {Op: plan, Coord: procs[0], Ver: 2}}},
+	})
+	if got := node.proposalsForVer(1); len(got) != 0 {
+		t.Errorf("wildcard/mismatched triples leaked: %v", got)
+	}
+}
+
+func TestSuspectSelfAndUnknownIgnored(t *testing.T) {
+	node, env, procs := mkNode(3, 0, DefaultConfig())
+	node.Suspect(node.id)
+	node.Suspect(ids.Named("stranger"))
+	if len(node.faulty) != 0 {
+		t.Errorf("faulty = %v, want empty", node.faulty)
+	}
+	node.Suspect(procs[1])
+	node.Suspect(procs[1]) // duplicate
+	faultyEvents := 0
+	for _, k := range env.events {
+		if k == event.Faulty {
+			faultyEvents++
+		}
+	}
+	if faultyEvents != 1 {
+		t.Errorf("faulty recorded %d times, want 1", faultyEvents)
+	}
+}
+
+func TestInboxDropsIsolatedSender(t *testing.T) {
+	node, env, procs := mkNode(3, 1, DefaultConfig())
+	node.Suspect(procs[2])
+	before := len(env.sent)
+	node.Deliver(procs[2], FaultyReport{Suspect: procs[0]})
+	if node.isolated.Has(procs[0]) {
+		t.Error("message from isolated sender influenced the node (S1 violated)")
+	}
+	if len(env.sent) != before {
+		t.Error("isolated sender's message triggered traffic")
+	}
+}
+
+func TestNonMemberSenderIsIsolated(t *testing.T) {
+	// §2.2 case 1: q ∉ Memb(p) ⇒ faulty_p(q).
+	node, _, _ := mkNode(3, 0, DefaultConfig())
+	stranger := ids.Named("zz")
+	node.Deliver(stranger, OK{Ver: 1})
+	if !node.isolated.Has(stranger) {
+		t.Error("non-member sender not isolated")
+	}
+}
+
+func TestRankGuardQuitsOutrankedReceiver(t *testing.T) {
+	// Fig. 10: a receiver that outranks the interrogation's initiator is
+	// in HiFaulty(r) and must quit.
+	node, env, procs := mkNode(4, 1, DefaultConfig()) // p2, rank 3
+	node.Deliver(procs[2], Interrogate{})             // initiator p3, rank 2
+	if node.Alive() {
+		t.Fatal("outranked receiver did not quit")
+	}
+	if !env.quit {
+		t.Error("quit not propagated to the environment")
+	}
+}
+
+func TestInterrogateAdoptsInitiatorHiFaulty(t *testing.T) {
+	node, env, procs := mkNode(5, 3, DefaultConfig()) // p4 answers
+	node.Deliver(procs[2], Interrogate{})             // initiator p3
+	for _, q := range []ids.ProcID{procs[0], procs[1]} {
+		if !node.isolated.Has(q) {
+			t.Errorf("did not adopt faulty(%v) from HiFaulty(p3)", q)
+		}
+	}
+	if node.isolated.Has(procs[4]) {
+		t.Error("adopted suspicion below the initiator")
+	}
+	// The response went to the initiator with our state.
+	found := false
+	for _, s := range env.sent {
+		if s.To == procs[2] {
+			if _, ok := s.Payload.(InterrogateOK); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no InterrogateOK sent to the initiator")
+	}
+	if node.awaitingReconf != procs[2] {
+		t.Errorf("awaitingReconf = %v, want p3", node.awaitingReconf)
+	}
+	// Wildcard appended to next(p) (§4.4).
+	nl := node.NextList()
+	if len(nl) == 0 || !nl[len(nl)-1].Wildcard || nl[len(nl)-1].Coord != procs[2] {
+		t.Errorf("next = %v, want trailing (? : p3 : ?)", nl)
+	}
+}
+
+func TestCommitGossipMarksReported(t *testing.T) {
+	node, env, procs := mkNode(5, 1, DefaultConfig())
+	node.Deliver(procs[0], Commit{
+		Op:     member.Remove(procs[4]),
+		Ver:    1,
+		Faulty: []ids.ProcID{procs[3]},
+	})
+	if !node.isolated.Has(procs[3]) {
+		t.Fatal("F2 gossip not adopted")
+	}
+	// The coordinator told us, so no FaultyReport goes back.
+	for _, s := range env.sent {
+		if fr, ok := s.Payload.(FaultyReport); ok && fr.Suspect == procs[3] {
+			t.Error("reported a coordinator-sourced suspicion back to the coordinator")
+		}
+	}
+}
+
+func TestContingentExclusionQuitsTarget(t *testing.T) {
+	node, _, procs := mkNode(4, 2, DefaultConfig())
+	node.Deliver(procs[0], Commit{
+		Op:      member.Remove(procs[3]),
+		Ver:     1,
+		Next:    member.Remove(procs[2]), // us
+		NextVer: 2,
+	})
+	if node.Alive() {
+		t.Fatal("contingently excluded process did not quit")
+	}
+	if node.QuitReason() == "" {
+		t.Error("missing quit reason")
+	}
+}
+
+func TestCompressedCommitTriggersImmediateOK(t *testing.T) {
+	node, env, procs := mkNode(5, 1, DefaultConfig())
+	node.Deliver(procs[0], Commit{
+		Op:      member.Remove(procs[4]),
+		Ver:     1,
+		Next:    member.Remove(procs[3]),
+		NextVer: 2,
+	})
+	var oks []OK
+	for _, s := range env.sent {
+		if ok, is := s.Payload.(OK); is && s.To == procs[0] {
+			oks = append(oks, ok)
+		}
+	}
+	if len(oks) != 1 || oks[0].Ver != 2 {
+		t.Fatalf("compressed contingency OKs = %v, want one OK for v2", oks)
+	}
+	nl := node.NextList()
+	if len(nl) != 1 || nl[0].Ver != 2 || nl[0].Op != member.Remove(procs[3]) {
+		t.Errorf("next = %v, want [(remove p4 : p1 : 2)]", nl)
+	}
+	op, ver, ok := node.Acknowledged()
+	if !ok || ver != 2 || op != member.Remove(procs[3]) {
+		t.Errorf("Acknowledged = (%v, %d, %v), want the contingent round", op, ver, ok)
+	}
+}
+
+func TestUncompressedCommitWaitsForInvite(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Compression = false
+	node, env, procs := mkNode(5, 1, cfg)
+	node.Deliver(procs[0], Commit{Op: member.Remove(procs[4]), Ver: 1})
+	for _, s := range env.sent {
+		if _, is := s.Payload.(OK); is {
+			t.Fatal("uncompressed node acknowledged a commit with no explicit invite")
+		}
+	}
+	node.Deliver(procs[0], Invite{Op: member.Remove(procs[3]), Ver: 2})
+	sawOK := false
+	for _, s := range env.sent {
+		if ok, is := s.Payload.(OK); is && ok.Ver == 2 {
+			sawOK = true
+		}
+	}
+	if !sawOK {
+		t.Error("explicit invite not acknowledged")
+	}
+}
+
+func TestHandleOKGuards(t *testing.T) {
+	node, _, procs := mkNode(4, 0, DefaultConfig())
+	node.applyFaulty(procs[3])
+	node.maybeStartRound()
+	if node.round == nil {
+		t.Fatal("round did not start")
+	}
+	// Wrong version: ignored.
+	node.handleOK(procs[1], OK{Ver: 99})
+	if node.round.okFrom.Len() != 0 {
+		t.Error("stale-version OK counted")
+	}
+	// Non-member: ignored.
+	node.handleOK(ids.Named("zz"), OK{Ver: node.round.ver})
+	if node.round.okFrom.Len() != 0 {
+		t.Error("non-member OK counted")
+	}
+	// Correct OK from p2 counts; p3's completes the round (p4 faulty).
+	node.handleOK(procs[1], OK{Ver: node.round.ver})
+	node.handleOK(procs[2], OK{Ver: node.round.ver})
+	if node.round != nil && node.round.op == member.Remove(procs[3]) {
+		t.Error("round did not commit after all members accounted")
+	}
+	if node.View().Has(procs[3]) {
+		t.Error("target not removed")
+	}
+}
+
+func TestMajorityGateAfterReconfiguration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MajorityCheck = false // even so, a reconfigured node must gate
+	node, _, _ := mkNode(5, 1, cfg)
+	if node.majorityGate() {
+		t.Error("basic mode should not gate before any reconfiguration")
+	}
+	node.everReconfigured = true
+	if !node.majorityGate() {
+		t.Error("§4.5: after reconfiguration the majority gate is mandatory")
+	}
+}
+
+func TestCatchUpPanicsOnUnbridgeableGap(t *testing.T) {
+	node, _, procs := mkNode(5, 1, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("catchUp with an unbridgeable gap must panic (protocol invariant)")
+		}
+	}()
+	node.catchUp(member.Seq{member.Remove(procs[4])}, 3)
+}
+
+func TestCoordinatorLosesMajorityQuits(t *testing.T) {
+	node, env, procs := mkNode(5, 0, DefaultConfig())
+	// Everyone else is suspected before the round completes: the round
+	// "completes" with zero OKs, below µ(5)=3 — the coordinator must quit
+	// rather than commit (Fig. 8's "if fewer than µ OKs then quit").
+	for _, p := range procs[1:] {
+		node.applyFaulty(p)
+	}
+	node.step()
+	if node.Alive() {
+		t.Fatal("coordinator committed without a majority")
+	}
+	if !env.quit {
+		t.Error("quit not propagated")
+	}
+}
+
+func TestHiFaultyFullSemantics(t *testing.T) {
+	node, _, procs := mkNode(4, 2, DefaultConfig()) // p3
+	if node.hiFaultyFull() {
+		t.Error("empty HiFaulty counted as full")
+	}
+	node.applyFaulty(procs[0])
+	if node.hiFaultyFull() {
+		t.Error("partial HiFaulty counted as full")
+	}
+	node.applyFaulty(procs[1])
+	if !node.hiFaultyFull() {
+		t.Error("full HiFaulty not detected")
+	}
+	// The coordinator has nobody above it: never "full".
+	mgrNode, _, _ := mkNode(4, 0, DefaultConfig())
+	if mgrNode.hiFaultyFull() {
+		t.Error("Mgr has no higher-ranked processes; hiFaultyFull must be false")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+// Outer-process role: Fig. 9's update loop. An outer process acknowledges
+// the coordinator's invitations (explicit or commit-borne), installs
+// committed operations, adopts the commit's contingency gossip (F2), and
+// quits the moment the group declares it faulty.
+
+import (
+	"fmt"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// handleInvite answers Invite(op(proc-id)) from the coordinator.
+func (n *Node) handleInvite(from ids.ProcID, m Invite) {
+	if from != n.mgr {
+		return // stale coordinator; S1 normally filters this earlier
+	}
+	if m.Ver != n.view.Version()+1 {
+		return // duplicate or out-of-order invitation
+	}
+	if m.Op.Kind == member.OpRemove && m.Op.Target == n.id {
+		n.quit("excluded by coordinator")
+		return
+	}
+	n.noteOp(m.Op)
+	n.env.Send(from, OK{Ver: m.Ver})
+	n.next = member.Next{{Op: m.Op, Coord: from, Ver: m.Ver}}
+	n.pending = &pendingUpdate{op: m.Op, ver: m.Ver}
+	n.step()
+}
+
+// noteOp records the belief an operation implies: faulty for the removal
+// target, operating for a joiner.
+func (n *Node) noteOp(op member.Op) {
+	switch op.Kind {
+	case member.OpRemove:
+		n.applyFaulty(op.Target)
+	case member.OpAdd:
+		n.applyOperating(op.Target)
+	}
+}
+
+// handleCommit installs a committed operation and processes the commit's
+// contingencies: the faulty/recovered gossip and, under compression, the
+// piggybacked invitation for the next round.
+func (n *Node) handleCommit(from ids.ProcID, m Commit) {
+	if from != n.mgr {
+		return
+	}
+	// "if (p ∈ L) or (p = next-id) then quit_p" (Fig. 2 / Fig. 9).
+	for _, f := range m.Faulty {
+		if f == n.id {
+			n.quit("declared faulty by coordinator")
+			return
+		}
+	}
+	if m.Next.Kind == member.OpRemove && m.Next.Target == n.id {
+		n.quit("contingently excluded by coordinator")
+		return
+	}
+	n.adoptGossip(m.Faulty, m.Recovered)
+	switch {
+	case m.Ver == n.view.Version()+1:
+		if err := n.install(member.Seq{m.Op}); err != nil {
+			panic(fmt.Sprintf("core: %v cannot install commit %v: %v", n.id, m, err))
+		}
+	case m.Ver <= n.view.Version():
+		// Already installed (e.g. via a racing reconfiguration commit).
+	default:
+		panic(fmt.Sprintf("core: %v received commit for v%d while at v%d (FIFO violated?)",
+			n.id, m.Ver, n.view.Version()))
+	}
+	n.pending = nil
+	if m.Next.IsNil() {
+		n.next = nil
+		n.step()
+		return
+	}
+	n.noteOp(m.Next)
+	n.next = member.Next{{Op: m.Next, Coord: from, Ver: m.NextVer}}
+	if n.cfg.Compression {
+		// §3.1: the contingent update, piggybacked on the commit, serves
+		// as the invitation for the next view change.
+		n.env.Send(from, OK{Ver: m.NextVer})
+		n.pending = &pendingUpdate{op: m.Next, ver: m.NextVer}
+	}
+	n.step()
+}
+
+// adoptGossip applies F2: the sender believed these processes faulty or
+// recovering when it sent the message. Coordinator-sourced suspicions need
+// no report back, so they are marked reported.
+func (n *Node) adoptGossip(faulty, recovered []ids.ProcID) {
+	for _, f := range faulty {
+		if n.applyFaulty(f) {
+			n.reported.Add(f)
+		}
+	}
+	for _, r := range recovered {
+		n.applyOperating(r)
+	}
+}
+
+// handleStateTransfer completes a join: install the group state the
+// coordinator recorded at our add-commit and, if that commit carried a
+// contingent next round, take part in it immediately.
+func (n *Node) handleStateTransfer(from ids.ProcID, st StateTransfer) {
+	if !n.joining {
+		return
+	}
+	n.joining = false
+	n.view = member.NewViewAt(st.Members, st.Ver)
+	n.seq = st.Seq.Clone()
+	n.mgr = st.Coord
+	n.env.RecordInstall(n.view.Version(), n.view.Members())
+	if !st.Next.IsNil() {
+		n.noteOp(st.Next)
+		n.next = member.Next{{Op: st.Next, Coord: st.Coord, Ver: st.NextVer}}
+		n.env.Send(st.Coord, OK{Ver: st.NextVer})
+		n.pending = &pendingUpdate{op: st.Next, ver: st.NextVer}
+	}
+	n.step()
+}

@@ -1,0 +1,289 @@
+package core_test
+
+// Reproductions of the paper's evaluation scenarios: Table 1's initiation
+// matrix and the adversarial schedules of Figures 3, 4 and 7. Each test
+// finishes by running the GMP checker over the recorded trace.
+
+import (
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/scenario"
+	"procgroup/internal/sim"
+)
+
+// initiators returns the processes that recorded an Initiate event.
+func initiators(c *scenario.Cluster) ids.Set {
+	out := ids.NewSet()
+	for _, e := range c.Rec.Events() {
+		if e.Kind == event.Initiate {
+			out.Add(e.Proc)
+		}
+	}
+	return out
+}
+
+func mustPass(t *testing.T, c *scenario.Cluster) {
+	t.Helper()
+	if rep := c.Check(); !rep.OK() {
+		t.Errorf("GMP checker failed:\n%v", rep)
+	}
+}
+
+// TestTable1_InitiationMatrix reproduces Table 1 (§4.2): with
+// rank(Mgr) > rank(p) > rank(q) and Mgr believed faulty by both, who
+// initiates reconfiguration depends on p's actual state and q's belief
+// about p. We use n=5 (p1=Mgr, p2=p, p3=q; p4, p5 supply the majority).
+func TestTable1_InitiationMatrix(t *testing.T) {
+	newCluster := func() (*scenario.Cluster, []ids.ProcID) {
+		c := scenario.New(scenario.Options{N: 5, Seed: 21, Config: finalConfig(), MuteOracle: true})
+		return c, c.Initial()
+	}
+	suspectMgrAll := func(c *scenario.Cluster, procs []ids.ProcID, at sim.Time) {
+		for _, obs := range procs[1:] {
+			c.SuspectAt(obs, procs[0], at)
+		}
+	}
+
+	t.Run("p up, q thinks p up: only p initiates", func(t *testing.T) {
+		c, procs := newCluster()
+		c.CrashAt(procs[0], 10)
+		suspectMgrAll(c, procs, 20)
+		c.Run()
+		ini := initiators(c)
+		if !ini.Has(procs[1]) {
+			t.Error("p (p2) did not initiate")
+		}
+		if ini.Has(procs[2]) {
+			t.Error("q (p3) initiated although it expected p to")
+		}
+		v, err := c.StableView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Mgr() != procs[1] {
+			t.Errorf("new Mgr = %v, want p2", v.Mgr())
+		}
+		mustPass(t, c)
+	})
+
+	t.Run("p failed, q thinks p up: q initiates eventually", func(t *testing.T) {
+		c, procs := newCluster()
+		c.CrashAt(procs[0], 10)
+		c.CrashAt(procs[1], 12)
+		// Nobody is told about p2's crash: q must time out on it.
+		for _, obs := range procs[2:] {
+			c.SuspectAt(obs, procs[0], 20)
+		}
+		c.Run()
+		ini := initiators(c)
+		if !ini.Has(procs[2]) {
+			t.Error("q (p3) never initiated")
+		}
+		if ini.Has(procs[1]) {
+			t.Error("dead p somehow initiated")
+		}
+		v, err := c.StableView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Has(procs[0]) || v.Has(procs[1]) {
+			t.Errorf("dead processes linger: %v", v)
+		}
+		if v.Mgr() != procs[2] {
+			t.Errorf("new Mgr = %v, want p3", v.Mgr())
+		}
+		mustPass(t, c)
+	})
+
+	t.Run("p up, q thinks p failed: both initiate", func(t *testing.T) {
+		c, procs := newCluster()
+		c.CrashAt(procs[0], 10)
+		suspectMgrAll(c, procs, 20)
+		c.SuspectAt(procs[2], procs[1], 20) // spurious: p is alive
+		c.Run()
+		ini := initiators(c)
+		if !ini.Has(procs[1]) || !ini.Has(procs[2]) {
+			t.Errorf("want both p2 and p3 to initiate, got %v", ini)
+		}
+		// GMP-2: despite two concurrent initiations the surviving view is
+		// unique, and the spuriously suspected p is excluded (GMP-5).
+		v, err := c.StableView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Has(procs[1]) {
+			t.Errorf("spuriously suspected p still in view %v", v)
+		}
+		if v.Mgr() != procs[2] {
+			t.Errorf("new Mgr = %v, want p3 (q)", v.Mgr())
+		}
+		mustPass(t, c)
+	})
+
+	t.Run("p failed, q thinks p failed: q initiates", func(t *testing.T) {
+		c, procs := newCluster()
+		c.CrashAt(procs[0], 10)
+		c.CrashAt(procs[1], 12)
+		for _, obs := range procs[2:] {
+			c.SuspectAt(obs, procs[0], 20)
+			c.SuspectAt(obs, procs[1], 22)
+		}
+		c.Run()
+		ini := initiators(c)
+		if !ini.Has(procs[2]) {
+			t.Error("q (p3) did not initiate")
+		}
+		if ini.Has(procs[1]) {
+			t.Error("dead p initiated")
+		}
+		v, err := c.StableView()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Mgr() != procs[2] {
+			t.Errorf("new Mgr = %v, want p3", v.Mgr())
+		}
+		mustPass(t, c)
+	})
+}
+
+// TestFigure3_InterruptedCommit reproduces Figure 3: Mgr crashes in the
+// middle of a commit broadcast, so one process holds Memb¹ while the rest
+// hold Memb⁰ and no system view exists. Reconfiguration must re-propose the
+// partially committed update (Determine's S ≠ ∅ case) and restore a unique
+// view.
+func TestFigure3_InterruptedCommit(t *testing.T) {
+	c := scenario.New(scenario.Options{N: 5, Seed: 22, Config: finalConfig(), MuteOracle: true})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[4], 10)           // Mgr starts excluding p5
+	c.CrashDuringBroadcast(procs[0], 1, "Commit") // commit reaches p2 only
+	for _, obs := range procs[1:4] {
+		c.SuspectAt(obs, procs[0], 200)
+	}
+	c.Run()
+
+	// The interrupted commit must really have split the versions.
+	if got := c.Views(procs[1]); len(got) < 2 || got[1].Ver != 1 {
+		t.Fatalf("p2 should hold the partial commit, views=%v", got)
+	}
+	v, err := c.StableView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(procs[0]) || v.Has(procs[4]) {
+		t.Errorf("final view %v should exclude Mgr and p5", v)
+	}
+	if v.Mgr() != procs[1] {
+		t.Errorf("new Mgr = %v, want p2", v.Mgr())
+	}
+	mustPass(t, c)
+}
+
+// TestFigure4_ConcurrentInitiators reproduces Figure 4's moral: without the
+// majority requirement two concurrent reconfigurers could install different
+// views; with it, exactly one view sequence survives.
+func TestFigure4_ConcurrentInitiators(t *testing.T) {
+	c := scenario.New(scenario.Options{N: 5, Seed: 23, Config: finalConfig(), MuteOracle: true})
+	procs := c.Initial()
+	c.CrashAt(procs[0], 10)
+	// p2 initiates first; p3 concurrently believes p2 faulty too and
+	// initiates its own reconfiguration.
+	c.SuspectAt(procs[1], procs[0], 100)
+	c.SuspectAt(procs[3], procs[0], 100)
+	c.SuspectAt(procs[4], procs[0], 100)
+	c.SuspectAt(procs[2], procs[0], 110)
+	c.SuspectAt(procs[2], procs[1], 110)
+	c.Run()
+
+	ini := initiators(c)
+	if !ini.Has(procs[1]) || !ini.Has(procs[2]) {
+		t.Fatalf("want concurrent initiations by p2 and p3, got %v", ini)
+	}
+	v, err := c.StableView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(procs[0]) || v.Has(procs[1]) {
+		t.Errorf("final view %v should exclude p1 and p2", v)
+	}
+	mustPass(t, c)
+}
+
+// TestFigure7_InvisibleCommit reproduces Figure 7 / §4.4: a commit that
+// reaches only processes which subsequently fail. No survivor ever saw it —
+// yet the reconfigurer must infer it from the Phase-I next-triples and
+// propagate the same operation for the same version, or the dead process's
+// history would violate GMP-3.
+func TestFigure7_InvisibleCommit(t *testing.T) {
+	c := scenario.New(scenario.Options{N: 7, Seed: 24, Config: finalConfig(), MuteOracle: true})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[6], 10)           // Mgr starts excluding p7
+	c.CrashDuringBroadcast(procs[0], 1, "Commit") // commit reaches p2 only…
+	c.CrashAt(procs[1], 100)                      // …and p2 dies with it
+	for _, obs := range procs[2:6] {
+		c.SuspectAt(obs, procs[0], 200)
+		c.SuspectAt(obs, procs[1], 210)
+	}
+	c.Run()
+
+	// p2 died holding v1 = Proc − {p7}: the invisible commit.
+	p2views := c.Views(procs[1])
+	if len(p2views) != 2 || p2views[1].Ver != 1 {
+		t.Fatalf("p2 should have installed the invisible v1, got %v", p2views)
+	}
+	// The survivors' v1 must be identical to it (GMP-3 across the crash).
+	p3views := c.Views(procs[2])
+	if len(p3views) < 2 {
+		t.Fatalf("p3 never progressed: %v", p3views)
+	}
+	if p3views[1].Ver != 1 {
+		t.Fatalf("p3's second view is v%d", p3views[1].Ver)
+	}
+	want := ids.NewSet(p2views[1].Members...)
+	for _, m := range p3views[1].Members {
+		if !want.Has(m) {
+			t.Errorf("v1 diverged: p2 %v vs p3 %v", p2views[1].Members, p3views[1].Members)
+		}
+	}
+	v, err := c.StableView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dead := range []ids.ProcID{procs[0], procs[1], procs[6]} {
+		if v.Has(dead) {
+			t.Errorf("dead %v in final view %v", dead, v)
+		}
+	}
+	mustPass(t, c)
+}
+
+// TestRandomSchedulesSatisfyGMP fuzzes fault schedules: random crashes,
+// spurious suspicions and joins, across seeds. Whatever happens, the
+// recorded run must satisfy GMP-0..GMP-5 and the cut structure.
+func TestRandomSchedulesSatisfyGMP(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		c := scenario.New(scenario.Options{N: 6, Seed: seed, Config: finalConfig()})
+		procs := c.Initial()
+		rng := c.Sched.Rand()
+		// Two crashes at random times, one spurious suspicion, one join.
+		v1 := procs[1+rng.Intn(5)]
+		c.CrashAt(v1, sim.Time(10+rng.Intn(300)))
+		v2 := procs[1+rng.Intn(5)]
+		if v2 != v1 {
+			c.CrashAt(v2, sim.Time(400+rng.Intn(300)))
+		}
+		obs := procs[rng.Intn(6)]
+		sus := procs[rng.Intn(6)]
+		if obs != sus {
+			c.SuspectAt(obs, sus, sim.Time(200+rng.Intn(400)))
+		}
+		c.JoinAt(ids.ProcID{Site: "j1"}, procs[0], sim.Time(700+rng.Intn(200)))
+		c.Run()
+
+		if rep := c.Check(); !rep.OK() {
+			t.Errorf("seed %d violates GMP:\n%v", seed, rep)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+// Reconfiguration: the three-phase protocol of Figs. 5 and 10 that replaces
+// a failed coordinator. A process initiates when it believes every
+// higher-ranked view member faulty (§4.2); each phase requires a majority
+// of Memb(r) (§4.3); the proposal is computed by Determine/GetStable so
+// that any invisibly committed update is preserved (§4.4, §5).
+
+import (
+	"fmt"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// maybeInitiate fires the §4.2 initiation rule: initiate(p) holds when the
+// coordinator is suspected and every higher-ranked member of Memb(p) is
+// suspected too.
+func (n *Node) maybeInitiate() {
+	if n.reconf != nil || n.mgr == n.id || !n.view.Has(n.id) {
+		return
+	}
+	if !n.isolated.Has(n.mgr) || !n.hiFaultyFull() {
+		return
+	}
+	n.initiate()
+}
+
+// initiate starts Phase I: broadcast the interrogation to every view member
+// (including the suspected ones — receiving it is what makes a wrongly
+// suspected higher-ranked process quit) and record our own response.
+func (n *Node) initiate() {
+	n.env.Record(event.Initiate, ids.Nil)
+	n.disarmTimer()
+	n.reconf = &reconfState{
+		phase:     1,
+		responses: map[ids.ProcID]InterrogateOK{n.id: n.selfResponse()},
+		phase2OK:  ids.NewSet(),
+	}
+	for _, m := range n.view.Members() {
+		if m != n.id {
+			n.env.Send(m, Interrogate{})
+		}
+	}
+	n.checkReconfPhase()
+}
+
+// selfResponse snapshots this node's own Phase-I answer; the initiator is a
+// member of PhaseIResp(r).
+func (n *Node) selfResponse() InterrogateOK {
+	return InterrogateOK{
+		Ver:    n.view.Version(),
+		Seq:    n.seq.Clone(),
+		Next:   n.next.Clone(),
+		Faulty: n.inViewFaulty(),
+	}
+}
+
+// handleInterrogate answers an initiator's Phase-I broadcast (Fig. 10,
+// outer side). Interrogations bypass the future-view buffering (§4.1).
+func (n *Node) handleInterrogate(from ids.ProcID) {
+	// Fig. 10: a receiver that outranks the initiator is in HiFaulty(r);
+	// property S1 will isolate it from the whole group, so it quits.
+	if n.view.Rank(n.id) > n.view.Rank(from) {
+		n.quit("outranked by reconfiguration initiator")
+		return
+	}
+	// Adopt the initiator's HiFaulty: rank is commonly known, so the
+	// contents are inferable (§4.5).
+	for _, q := range n.view.HigherRanked(from) {
+		if n.applyFaulty(q) {
+			n.reported.Add(q) // the new coordinator already knows
+		}
+	}
+	n.env.Send(from, n.selfResponse())
+	n.next = append(n.next, member.WildcardFor(from))
+	n.awaitingReconf = from
+	n.step()
+}
+
+// handleInterrogateOK collects a Phase-I response.
+func (n *Node) handleInterrogateOK(from ids.ProcID, m InterrogateOK) {
+	if n.reconf == nil || n.reconf.phase != 1 {
+		return
+	}
+	// Prop. 5.1: respondents' versions lie within ±1 of ours; anything
+	// else is from a process S1 should have silenced.
+	d := m.Ver - n.view.Version()
+	if d < -1 || d > 1 {
+		return
+	}
+	n.reconf.responses[from] = m
+	// F2: the responder's pending suspicions become ours, so no exclusion
+	// request is lost across the coordinator change (Prop. 6.4).
+	for _, f := range m.Faulty {
+		if n.applyFaulty(f) {
+			n.reported.Add(f)
+		}
+	}
+	n.checkReconfPhase()
+}
+
+// handleProposeOK collects a Phase-II response.
+func (n *Node) handleProposeOK(from ids.ProcID, m ProposeOK) {
+	if n.reconf == nil || n.reconf.phase != 2 || m.Ver != n.reconf.ver || !n.view.Has(from) {
+		return
+	}
+	n.reconf.phase2OK.Add(from)
+	n.checkReconfPhase()
+}
+
+// checkReconfPhase advances the initiator once the current phase's await
+// clause is satisfied ("OK(p) or faulty_r(p)" for every view member),
+// enforcing the majority gates of §4.3.
+func (n *Node) checkReconfPhase() {
+	if n.reconf == nil {
+		return
+	}
+	switch n.reconf.phase {
+	case 1:
+		for _, m := range n.view.Members() {
+			if m == n.id {
+				continue
+			}
+			if _, ok := n.reconf.responses[m]; !ok && !n.isolated.Has(m) {
+				return
+			}
+		}
+		if len(n.reconf.responses) < n.view.Majority() {
+			n.quit("reconfiguration: interrogation lacks majority")
+			return
+		}
+		n.beginProposal()
+	case 2:
+		for _, m := range n.view.Members() {
+			if m == n.id {
+				continue
+			}
+			if !n.reconf.phase2OK.Has(m) && !n.isolated.Has(m) {
+				return
+			}
+		}
+		if 1+n.reconf.phase2OK.Len() < n.view.Majority() {
+			n.quit("reconfiguration: proposal lacks majority")
+			return
+		}
+		n.commitReconf()
+	}
+}
+
+// beginProposal runs Determine and broadcasts Phase II to the live view.
+func (n *Node) beginProposal() {
+	rl, ver, invis, err := n.determine()
+	if err != nil {
+		n.quit(fmt.Sprintf("reconfiguration: determine failed: %v", err))
+		return
+	}
+	// GMP-1: believe every process the proposal removes faulty before
+	// asking anyone to remove it.
+	for _, op := range rl {
+		n.noteOp(op)
+	}
+	n.reconf.rl, n.reconf.ver, n.reconf.invis = rl, ver, invis
+	if n.cfg.TwoPhaseReconfig {
+		// Claim 7.2 strawman: commit straight away. Without Phase II the
+		// proposal never disseminates before the commit, so a later
+		// reconfigurer cannot detect an invisible commit (Fig. 11).
+		n.commitReconf()
+		return
+	}
+	n.reconf.phase = 2
+	prop := Propose{RL: rl, Ver: ver, Invis: invis, Faulty: n.inViewFaulty()}
+	for _, m := range n.view.Members() {
+		if m != n.id && !n.isolated.Has(m) {
+			n.env.Send(m, prop)
+		}
+	}
+	n.checkReconfPhase()
+}
+
+// commitReconf is Phase III: install the proposal, broadcast the commit,
+// assume the coordinator role, and run the contingent first round.
+func (n *Node) commitReconf() {
+	rl, ver, invis := n.reconf.rl, n.reconf.ver, n.reconf.invis
+	n.reconf = nil
+	n.catchUp(rl, ver)
+	n.everReconfigured = true
+	n.mgr = n.id
+	n.reported = ids.NewSet()
+	n.sponsored = ids.NewSet()
+	n.awaitingReconf = ids.Nil
+
+	commit := ReconfCommit{RL: rl, Ver: ver, Invis: invis, Faulty: n.inViewFaulty()}
+	for _, m := range n.view.Members() {
+		if m != n.id && !n.isolated.Has(m) {
+			n.env.Send(m, commit)
+		}
+	}
+	if invis.IsNil() {
+		n.step()
+		return
+	}
+	// "begin Mgr role with relevant operation on invis" (Fig. 10): the
+	// reconfiguration commit carried the contingent invitation, so under
+	// compression the outer OKs are already on their way.
+	n.noteOp(invis)
+	n.round = &updateRound{op: invis, ver: ver + 1, okFrom: ids.NewSet(), contingent: n.cfg.Compression}
+	if !n.cfg.Compression {
+		n.broadcastInvite()
+	}
+	n.checkRound()
+}
+
+// catchUp applies the suffix of rl this node has not installed yet,
+// bringing it to version ver (Fig. 10's "if v_r ≥ ver(p)" guard, resolved
+// per DESIGN.md §3.3).
+func (n *Node) catchUp(rl member.Seq, ver member.Version) {
+	behind := int(ver - n.view.Version())
+	if behind <= 0 {
+		return
+	}
+	if behind > len(rl) {
+		panic(fmt.Sprintf("core: %v at v%d cannot reach v%d with %d ops",
+			n.id, n.view.Version(), ver, len(rl)))
+	}
+	if err := n.install(rl[len(rl)-behind:]); err != nil {
+		panic(fmt.Sprintf("core: %v catch-up failed: %v", n.id, err))
+	}
+}
+
+// handlePropose is the outer side of Phase II (Fig. 10).
+func (n *Node) handlePropose(from ids.ProcID, m Propose) {
+	if n.reconf != nil {
+		return // we are initiating; a lower-ranked proposer will quit soon
+	}
+	for _, f := range m.Faulty {
+		if f == n.id {
+			n.quit("declared faulty in reconfiguration proposal")
+			return
+		}
+	}
+	for _, op := range m.RL {
+		if op.Kind == member.OpRemove && op.Target == n.id {
+			n.quit("removed by reconfiguration proposal")
+			return
+		}
+	}
+	n.adoptGossip(m.Faulty, nil)
+	// Prop. 6.2: p executes faulty_p(RL_r) upon receipt of r's proposal.
+	for _, op := range m.RL {
+		n.noteOp(op)
+	}
+	n.env.Send(from, ProposeOK{Ver: m.Ver})
+	if len(m.RL) > 0 {
+		n.next = member.Next{{Op: m.RL[len(m.RL)-1], Coord: from, Ver: m.Ver}}
+	}
+	n.awaitingReconf = from
+	n.step()
+}
+
+// handleReconfCommit is the outer side of Phase III (Fig. 10).
+func (n *Node) handleReconfCommit(from ids.ProcID, m ReconfCommit) {
+	if n.reconf != nil {
+		return
+	}
+	for _, f := range m.Faulty {
+		if f == n.id {
+			n.quit("declared faulty in reconfiguration commit")
+			return
+		}
+	}
+	if m.Invis.Kind == member.OpRemove && m.Invis.Target == n.id {
+		n.quit("contingently excluded after reconfiguration")
+		return
+	}
+	n.adoptGossip(m.Faulty, nil)
+	for _, op := range m.RL {
+		n.noteOp(op)
+	}
+	n.catchUp(m.RL, m.Ver)
+	n.mgr = from
+	// Re-report pending suspicions and re-sponsor pending joiners to the
+	// new coordinator (Prop. 6.4).
+	n.reported = ids.NewSet()
+	n.sponsored = ids.NewSet()
+	n.awaitingReconf = ids.Nil
+	n.pending = nil
+	if m.Invis.IsNil() {
+		n.next = nil
+	} else {
+		n.noteOp(m.Invis)
+		n.next = member.Next{{Op: m.Invis, Coord: from, Ver: m.Ver + 1}}
+		if n.cfg.Compression {
+			n.env.Send(from, OK{Ver: m.Ver + 1})
+			n.pending = &pendingUpdate{op: m.Invis, ver: m.Ver + 1}
+		}
+	}
+	n.reportSuspicions()
+	n.step()
+}

@@ -1,0 +1,174 @@
+// Message vocabulary of the GMP protocol. Labels are stable strings used by
+// the trace recorder for the §7.2 message accounting:
+//
+//	plain two-phase exclusion  = Invite + OK + Commit            (≤ 3n−5)
+//	compressed exclusion round = OK + Commit                     (≤ 2n−3)
+//	reconfiguration            = Interrogate + InterrogateOK +
+//	                             Propose + ProposeOK + ReconfCommit (≤ 5n−9)
+//
+// FaultyReport, JoinRequest and StateTransfer are bookkeeping traffic that
+// the paper's complexity analysis does not count; benches exclude them by
+// label.
+package core
+
+import (
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// Message labels (see package comment).
+const (
+	LabelInvite        = "Invite"
+	LabelOK            = "OK"
+	LabelCommit        = "Commit"
+	LabelInterrogate   = "Interrogate"
+	LabelInterrogateOK = "InterrogateOK"
+	LabelPropose       = "Propose"
+	LabelProposeOK     = "ProposeOK"
+	LabelReconfCommit  = "ReconfCommit"
+	LabelFaultyReport  = "FaultyReport"
+	LabelJoinRequest   = "JoinRequest"
+	LabelStateTransfer = "StateTransfer"
+)
+
+// ExclusionLabels are the message kinds counted by the §7.2 exclusion
+// analysis.
+var ExclusionLabels = []string{LabelInvite, LabelOK, LabelCommit}
+
+// ReconfigLabels are the message kinds counted by the §7.2 reconfiguration
+// analysis.
+var ReconfigLabels = []string{
+	LabelInterrogate, LabelInterrogateOK, LabelPropose, LabelProposeOK, LabelReconfCommit,
+}
+
+// ProtocolLabels is every protocol message kind (excludes bookkeeping).
+var ProtocolLabels = append(append([]string{}, ExclusionLabels...), ReconfigLabels...)
+
+// Invite is the coordinator's Phase-I invitation Invite(op(proc-id)) (Fig. 8).
+// Ver is the view version that committing Op would produce.
+type Invite struct {
+	Op  member.Op
+	Ver member.Version
+}
+
+// MsgLabel implements netsim.Labeled.
+func (Invite) MsgLabel() string { return LabelInvite }
+
+// OK acknowledges an invitation (explicit or contingent) for the view
+// version Ver.
+type OK struct {
+	Ver member.Version
+}
+
+// MsgLabel implements netsim.Labeled.
+func (OK) MsgLabel() string { return LabelOK }
+
+// Commit is the coordinator's Phase-II message
+// Commit(op(proc-id)) : Contingencies (Fig. 8). Next, when non-nil, is the
+// contingent invitation for the following round (the §3.1 compression);
+// NextVer is the version that op would produce. Faulty and Recovered carry
+// the coordinator's pending sets — the F2 gossip that Fig. 9's outer loop
+// applies on receipt.
+type Commit struct {
+	Op        member.Op
+	Ver       member.Version
+	Next      member.Op
+	NextVer   member.Version
+	Faulty    []ids.ProcID
+	Recovered []ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (Commit) MsgLabel() string { return LabelCommit }
+
+// Interrogate opens reconfiguration Phase I (Fig. 10). It deliberately
+// carries no view version: interrogation traffic must bypass the
+// future-view buffering so version-inconsistent states can be repaired
+// (§4.1, footnote 10).
+type Interrogate struct{}
+
+// MsgLabel implements netsim.Labeled.
+func (Interrogate) MsgLabel() string { return LabelInterrogate }
+
+// InterrogateOK is the Phase-I response OK(seq(p), next(p)). Faulty carries
+// the responder's pending suspicions so no exclusion request is lost across
+// a coordinator change (Prop. 6.4's F2 propagation).
+type InterrogateOK struct {
+	Ver    member.Version
+	Seq    member.Seq
+	Next   member.Next
+	Faulty []ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (InterrogateOK) MsgLabel() string { return LabelInterrogateOK }
+
+// Propose is the Phase-II reconfiguration proposal
+// Propose((op(proc-id) : r : v_r) : (next-op(next-id), F)) (Fig. 10).
+// RL lists the operations whose application yields version Ver; receivers
+// behind Ver apply the suffix they are missing. Invis is the contingent
+// first operation of the initiator's subsequent coordinator role.
+type Propose struct {
+	RL     member.Seq
+	Ver    member.Version
+	Invis  member.Op
+	Faulty []ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (Propose) MsgLabel() string { return LabelPropose }
+
+// ProposeOK acknowledges a proposal for version Ver.
+type ProposeOK struct {
+	Ver member.Version
+}
+
+// MsgLabel implements netsim.Labeled.
+func (ProposeOK) MsgLabel() string { return LabelProposeOK }
+
+// ReconfCommit is the Phase-III reconfiguration commit (Fig. 10). Fields
+// mirror Propose.
+type ReconfCommit struct {
+	RL     member.Seq
+	Ver    member.Version
+	Invis  member.Op
+	Faulty []ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (ReconfCommit) MsgLabel() string { return LabelReconfCommit }
+
+// FaultyReport is an outer process's request that the coordinator start the
+// removal algorithm for Suspect (§3: "it sends a message to Mgr, requesting
+// that it start the removal algorithm").
+type FaultyReport struct {
+	Suspect ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (FaultyReport) MsgLabel() string { return LabelFaultyReport }
+
+// JoinRequest announces Joiner's desire to enter the group (§7). Any member
+// forwards it to the coordinator.
+type JoinRequest struct {
+	Joiner ids.ProcID
+}
+
+// MsgLabel implements netsim.Labeled.
+func (JoinRequest) MsgLabel() string { return LabelJoinRequest }
+
+// StateTransfer initializes a joiner after its add commits: the view it is
+// part of, the full committed history, and — when the commit carried a
+// contingent next operation — the round the joiner must acknowledge like
+// every other member.
+type StateTransfer struct {
+	Members []ids.ProcID
+	Ver     member.Version
+	Seq     member.Seq
+	Coord   ids.ProcID
+	Next    member.Op
+	NextVer member.Version
+}
+
+// MsgLabel implements netsim.Labeled.
+func (StateTransfer) MsgLabel() string { return LabelStateTransfer }

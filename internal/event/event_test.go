@@ -1,0 +1,54 @@
+package event
+
+import (
+	"strings"
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Start:       "start",
+		Send:        "send",
+		Recv:        "recv",
+		Drop:        "drop",
+		Faulty:      "faulty",
+		Operating:   "operating",
+		Remove:      "remove",
+		Add:         "add",
+		InstallView: "install",
+		Quit:        "quit",
+		Crash:       "crash",
+		Initiate:    "initiate",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	tests := []struct {
+		e    Event
+		want []string
+	}{
+		{Event{Index: 3, Proc: a, Kind: Send, Other: b, Label: "Invite"}, []string{"send", "Invite", "a", "b"}},
+		{Event{Index: 4, Proc: b, Kind: Faulty, Other: a}, []string{"faulty(a)"}},
+		{Event{Index: 5, Proc: a, Kind: InstallView, Ver: 2, Members: []ids.ProcID{a}}, []string{"install v2"}},
+		{Event{Index: 6, Proc: a, Kind: Quit}, []string{"quit"}},
+	}
+	for _, tt := range tests {
+		got := tt.e.String()
+		for _, frag := range tt.want {
+			if !strings.Contains(got, frag) {
+				t.Errorf("String() = %q, want fragment %q", got, frag)
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+// Ablations over the design choices DESIGN.md calls out: failure-detection
+// latency (the only "time" in the system), the majority gate, and the
+// initiation timeout. None of these have paper tables — they quantify the
+// knobs the paper leaves abstract.
+
+import (
+	"fmt"
+
+	"procgroup/internal/core"
+	"procgroup/internal/netsim"
+	"procgroup/internal/scenario"
+	"procgroup/internal/sim"
+)
+
+// LatencyPoint is one row of the detection-latency sweep.
+type LatencyPoint struct {
+	// DetectDelay is the oracle's crash→suspicion latency (ticks).
+	DetectDelay sim.Time
+	// ExclusionTime is crash→stable-view time for an outer failure.
+	ExclusionTime sim.Time
+	// ReconfigTime is crash→stable-view time for a coordinator failure.
+	ReconfigTime sim.Time
+}
+
+// DetectionLatencySweep measures time-to-agreement as a function of
+// failure-detection latency. The protocol itself never waits on clocks, so
+// agreement time should be detection latency plus a few message delays —
+// which is exactly what the sweep shows.
+func DetectionLatencySweep(n int, seed int64, delays []sim.Time) []LatencyPoint {
+	out := make([]LatencyPoint, 0, len(delays))
+	for _, d := range delays {
+		point := LatencyPoint{DetectDelay: d}
+		for _, coord := range []bool{false, true} {
+			c := scenario.New(scenario.Options{
+				N: n, Seed: seed, Config: core.DefaultConfig(),
+				Delay:       netsim.ConstDelay(2),
+				DetectDelay: netsim.ConstDelay(d),
+			})
+			procs := c.Initial()
+			victim := procs[n-1]
+			if coord {
+				victim = procs[0]
+			}
+			const crashAt = 10
+			c.CrashAt(victim, crashAt)
+			c.Run()
+			// Stable time = the latest install event in the run.
+			var last sim.Time
+			for _, e := range c.Rec.Events() {
+				if e.Kind.String() == "install" && sim.Time(e.Time) > last {
+					last = sim.Time(e.Time)
+				}
+			}
+			if coord {
+				point.ReconfigTime = last - crashAt
+			} else {
+				point.ExclusionTime = last - crashAt
+			}
+		}
+		out = append(out, point)
+	}
+	return out
+}
+
+// ToleranceResult contrasts the two fault-tolerance regimes of the paper:
+// the basic §3.1 algorithm tolerates |Memb|−1 failures while the
+// coordinator survives; the final algorithm trades that for coordinator
+// fault-tolerance and blocks once a majority is lost (§4.3).
+type ToleranceResult struct {
+	Mode             string
+	Crashes          int
+	Converged        bool
+	FinalViewSize    int
+	SurvivorsBlocked bool
+}
+
+// FaultToleranceAblation crashes k of n processes (never the coordinator in
+// basic mode; always including it in final mode) and reports the outcome.
+func FaultToleranceAblation(n int, seed int64) []ToleranceResult {
+	var out []ToleranceResult
+
+	// Basic algorithm, coordinator alive: exclude everyone else.
+	{
+		cfg := core.Config{Compression: true, MajorityCheck: false, ReconfigWait: 0}
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: cfg})
+		procs := c.Initial()
+		for i := 1; i < n; i++ {
+			c.CrashAt(procs[i], sim.Time(10+40*i))
+		}
+		c.Run()
+		v, err := c.StableView()
+		res := ToleranceResult{Mode: "basic (Mgr immortal)", Crashes: n - 1, Converged: err == nil}
+		if err == nil {
+			res.FinalViewSize = v.Size()
+		}
+		out = append(out, res)
+	}
+
+	// Final algorithm: minority loss including the coordinator.
+	{
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		procs := c.Initial()
+		minority := (n - 1) / 2
+		for i := 0; i < minority; i++ {
+			c.CrashAt(procs[i], sim.Time(10+40*i))
+		}
+		c.Run()
+		v, err := c.StableView()
+		res := ToleranceResult{Mode: "final, minority lost", Crashes: minority, Converged: err == nil}
+		if err == nil {
+			res.FinalViewSize = v.Size()
+		}
+		out = append(out, res)
+	}
+
+	// Final algorithm: majority loss — survivors must block, not diverge.
+	{
+		c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+		procs := c.Initial()
+		majority := n/2 + 1
+		for i := 0; i < majority; i++ {
+			c.CrashAt(procs[i], 10)
+		}
+		c.Run()
+		_, err := c.StableView()
+		blocked := err != nil && c.Check().OK()
+		out = append(out, ToleranceResult{
+			Mode:             "final, majority lost",
+			Crashes:          majority,
+			Converged:        false,
+			SurvivorsBlocked: blocked,
+		})
+	}
+	return out
+}
+
+// CompressionAblation reports the total message cost of a fixed three-
+// exclusion burst with and without §3.1 round compression.
+func CompressionAblation(n int, seed int64) (compressed, plain int, err error) {
+	run := func(compress bool) (int, error) {
+		cfg := core.Config{Compression: compress, MajorityCheck: false, ReconfigWait: 0}
+		c := scenario.New(scenario.Options{
+			N: n, Seed: seed, Config: cfg, MuteOracle: true,
+			Delay: netsim.ConstDelay(1),
+		})
+		procs := c.Initial()
+		c.SuspectAt(procs[0], procs[n-1], 10)
+		c.SuspectAt(procs[0], procs[n-2], 11)
+		c.SuspectAt(procs[0], procs[n-3], 13)
+		c.Run()
+		v, sverr := c.StableView()
+		if sverr != nil {
+			return 0, sverr
+		}
+		if v.Size() != n-3 {
+			return 0, fmt.Errorf("burst incomplete: %v", v)
+		}
+		return c.Messages(core.ExclusionLabels...), nil
+	}
+	if compressed, err = run(true); err != nil {
+		return 0, 0, err
+	}
+	if plain, err = run(false); err != nil {
+		return 0, 0, err
+	}
+	return compressed, plain, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+
+	"procgroup/internal/sim"
+)
+
+func TestDetectionLatencyDominatesAgreementTime(t *testing.T) {
+	points := DetectionLatencySweep(6, 1, []sim.Time{5, 20, 80, 320})
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].ExclusionTime <= points[i-1].ExclusionTime {
+			t.Errorf("exclusion time not increasing with FD latency: %+v", points)
+		}
+		if points[i].ReconfigTime <= points[i-1].ReconfigTime {
+			t.Errorf("reconfiguration time not increasing with FD latency: %+v", points)
+		}
+	}
+	// The protocol adds only message delays on top of detection latency:
+	// agreement should track the detector, not dwarf it.
+	last := points[len(points)-1]
+	if last.ExclusionTime > 2*last.DetectDelay+100 {
+		t.Errorf("exclusion time %d far exceeds detection latency %d: protocol is waiting on time somewhere",
+			last.ExclusionTime, last.DetectDelay)
+	}
+}
+
+func TestFaultToleranceRegimes(t *testing.T) {
+	results := FaultToleranceAblation(8, 1)
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	basic := results[0]
+	if !basic.Converged || basic.FinalViewSize != 1 {
+		t.Errorf("basic mode should survive n−1 failures down to a singleton view: %+v", basic)
+	}
+	minority := results[1]
+	if !minority.Converged || minority.FinalViewSize != 8-minority.Crashes {
+		t.Errorf("final mode should survive a minority loss: %+v", minority)
+	}
+	majority := results[2]
+	if majority.Converged {
+		t.Errorf("final mode converged after losing a majority: %+v", majority)
+	}
+	if !majority.SurvivorsBlocked {
+		t.Errorf("survivors neither blocked safely nor stayed consistent: %+v", majority)
+	}
+}
+
+func TestCompressionAblationSaves(t *testing.T) {
+	compressed, plain, err := CompressionAblation(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed >= plain {
+		t.Errorf("compression saved nothing: %d vs %d", compressed, plain)
+	}
+	// §3.1: the saving is roughly one invitation broadcast per chained
+	// round — n−2-ish messages per extra exclusion.
+	if plain-compressed < 10 {
+		t.Errorf("saving %d suspiciously small for n=10", plain-compressed)
+	}
+}

@@ -1,0 +1,393 @@
+// Package experiments implements the evaluation runs of DESIGN.md's
+// experiment index E1–E14: one function per table/figure of the paper,
+// each returning the measured numbers next to the paper's closed-form
+// prediction. cmd/gmpbench renders them as tables; bench_test.go wraps
+// them as benchmarks; EXPERIMENTS.md records their output.
+package experiments
+
+import (
+	"fmt"
+
+	"procgroup/internal/baseline"
+	"procgroup/internal/baseline/onephase"
+	"procgroup/internal/baseline/symmetric"
+	"procgroup/internal/baseline/twophase"
+	"procgroup/internal/check"
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/netsim"
+	"procgroup/internal/scenario"
+	"procgroup/internal/sim"
+)
+
+// basicCfg is the §3.1 algorithm (coordinator cannot fail).
+func basicCfg() core.Config {
+	return core.Config{Compression: false, MajorityCheck: false, ReconfigWait: 0}
+}
+
+// compressedCfg is basicCfg with §3.1 round compression.
+func compressedCfg() core.Config {
+	return core.Config{Compression: true, MajorityCheck: false, ReconfigWait: 0}
+}
+
+// --- E2: plain two-phase exclusion (§7.2 best case 1, ≤ 3n−5) -------------
+
+// TwoPhaseCost measures one uncompressed exclusion.
+func TwoPhaseCost(n int, seed int64) (measured, paper int) {
+	c := scenario.New(scenario.Options{N: n, Seed: seed, Config: basicCfg()})
+	c.CrashAt(c.Initial()[n-1], 50)
+	c.Run()
+	return c.Messages(core.ExclusionLabels...), 3*n - 5
+}
+
+// --- E3: compressed stream (§7.2, (n−1)² total for n−1 exclusions) --------
+
+// CompressedStreamCost measures n−1 back-to-back exclusions with failures
+// spaced one round apart so every commit piggybacks the next invitation.
+func CompressedStreamCost(n int, seed int64) (measured, paper int) {
+	c := scenario.New(scenario.Options{
+		N: n, Seed: seed, Config: compressedCfg(), MuteOracle: true,
+		Delay: netsim.ConstDelay(1),
+	})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[1], 10)
+	for k := 2; k < n; k++ {
+		c.SuspectAt(procs[0], procs[k], sim.Time(11+2*(k-2)))
+	}
+	c.Run()
+	return c.Messages(core.ExclusionLabels...), (n - 1) * (n - 1)
+}
+
+// --- E4: reconfiguration (§7.2 best case 3, ≤ 5n−9) ------------------------
+
+// ReconfigCost measures one coordinator replacement.
+func ReconfigCost(n int, seed int64) (measured, paper int) {
+	c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+	c.CrashAt(c.Initial()[0], 50)
+	c.Run()
+	return c.Messages(core.ReconfigLabels...), 5*n - 9
+}
+
+// --- E5: worst case (§7.2, τ successive failed reconfigurations, O(n²)) ---
+
+// WorstCaseChain crashes the coordinator and then each successive
+// reconfiguration initiator in mid-proposal, exhausting the group's
+// tolerable failures τ = n − µ(n); the last initiator succeeds. It returns
+// the total reconfiguration traffic and the number of failed attempts.
+func WorstCaseChain(n int, seed int64) (measured, attempts int, err error) {
+	c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+	procs := c.Initial()
+	tau := n - (n/2 + 1)
+	c.CrashAt(procs[0], 50)
+	for i := 1; i < tau; i++ {
+		// Initiator p_{i+1} dies after sending one proposal message.
+		c.CrashDuringBroadcast(procs[i], 1, core.LabelPropose)
+	}
+	c.Run()
+	if _, sverr := c.StableView(); sverr != nil {
+		return 0, tau, fmt.Errorf("worst-case chain did not converge: %w", sverr)
+	}
+	return c.Messages(core.ReconfigLabels...), tau, nil
+}
+
+// --- E6: compressed vs plain stream ----------------------------------------
+
+// PlainStreamCost measures n−1 exclusions with compression disabled: each
+// exclusion pays the full two-phase price on the shrinking view.
+func PlainStreamCost(n int, seed int64) (measured, paper int) {
+	c := scenario.New(scenario.Options{
+		N: n, Seed: seed, Config: basicCfg(), MuteOracle: true,
+		Delay: netsim.ConstDelay(1),
+	})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[1], 10)
+	for k := 2; k < n; k++ {
+		c.SuspectAt(procs[0], procs[k], sim.Time(11+3*(k-2)))
+	}
+	c.Run()
+	// Paper: each exclusion from a view of size m costs 3m−5; summed over
+	// m = n … 2.
+	total := 0
+	for m := n; m >= 2; m-- {
+		total += 3*m - 5
+	}
+	return c.Messages(core.ExclusionLabels...), total
+}
+
+// --- E12: symmetric and one-phase baselines --------------------------------
+
+// SymmetricCost measures one exclusion under the Bruso-style symmetric
+// protocol ((n−1)² accusations).
+func SymmetricCost(n int, seed int64) (measured, paper int) {
+	h := baseline.NewHarness(baseline.Options{N: n, Seed: seed},
+		func(id ids.ProcID, env core.Env) baseline.Node { return symmetric.New(id, env) })
+	h.CrashAt(h.Initial()[n-1], 20)
+	h.Run()
+	return h.Messages(symmetric.LabelAccuse), (n - 1) * (n - 1)
+}
+
+// OnePhaseCost measures one exclusion under the (unsound) one-phase
+// strawman.
+func OnePhaseCost(n int, seed int64) (measured, paper int) {
+	h := baseline.NewHarness(baseline.Options{N: n, Seed: seed},
+		func(id ids.ProcID, env core.Env) baseline.Node { return onephase.New(id, env) })
+	h.CrashAt(h.Initial()[n-1], 20)
+	h.Run()
+	return h.Messages(onephase.LabelRemove), n - 2
+}
+
+// --- E1: Table 1 ------------------------------------------------------------
+
+// Table1Row is one scenario of Table 1.
+type Table1Row struct {
+	PActual    string
+	QThinksP   string
+	QInitiated bool
+	PInitiated bool
+	NewMgr     ids.ProcID
+	CheckerOK  bool
+}
+
+// Table1 reruns the four scenarios of §4.2's Table 1 on a 5-process group
+// (p1 = Mgr, p2 = p, p3 = q).
+func Table1(seed int64) []Table1Row {
+	build := func() (*scenario.Cluster, []ids.ProcID) {
+		c := scenario.New(scenario.Options{N: 5, Seed: seed, Config: core.DefaultConfig(), MuteOracle: true})
+		return c, c.Initial()
+	}
+	finish := func(c *scenario.Cluster, row *Table1Row) {
+		c.Run()
+		for _, e := range c.Rec.Events() {
+			if e.Kind != event.Initiate {
+				continue
+			}
+			switch e.Proc.Site {
+			case "p2":
+				row.PInitiated = true
+			case "p3":
+				row.QInitiated = true
+			}
+		}
+		if v, err := c.StableView(); err == nil {
+			row.NewMgr = v.Mgr()
+		}
+		row.CheckerOK = c.Check().OK()
+	}
+
+	var rows []Table1Row
+
+	// Row 1: p up, q thinks p up.
+	{
+		c, procs := build()
+		c.CrashAt(procs[0], 10)
+		for _, obs := range procs[1:] {
+			c.SuspectAt(obs, procs[0], 20)
+		}
+		row := Table1Row{PActual: "up", QThinksP: "up"}
+		finish(c, &row)
+		rows = append(rows, row)
+	}
+	// Row 2: p failed, q thinks p up.
+	{
+		c, procs := build()
+		c.CrashAt(procs[0], 10)
+		c.CrashAt(procs[1], 12)
+		for _, obs := range procs[2:] {
+			c.SuspectAt(obs, procs[0], 20)
+		}
+		row := Table1Row{PActual: "failed", QThinksP: "up"}
+		finish(c, &row)
+		rows = append(rows, row)
+	}
+	// Row 3: p up, q thinks p failed.
+	{
+		c, procs := build()
+		c.CrashAt(procs[0], 10)
+		for _, obs := range procs[1:] {
+			c.SuspectAt(obs, procs[0], 20)
+		}
+		c.SuspectAt(procs[2], procs[1], 20)
+		row := Table1Row{PActual: "up", QThinksP: "failed"}
+		finish(c, &row)
+		rows = append(rows, row)
+	}
+	// Row 4: p failed, q thinks p failed.
+	{
+		c, procs := build()
+		c.CrashAt(procs[0], 10)
+		c.CrashAt(procs[1], 12)
+		for _, obs := range procs[2:] {
+			c.SuspectAt(obs, procs[0], 20)
+			c.SuspectAt(obs, procs[1], 22)
+		}
+		row := Table1Row{PActual: "failed", QThinksP: "failed"}
+		finish(c, &row)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- E7/E9: interrupted and invisible commits -------------------------------
+
+// Verdict summarizes a scenario run for the harness output.
+type Verdict struct {
+	Name      string
+	CheckerOK bool
+	Detail    string
+}
+
+// Figure3 runs the interrupted-commit scenario (E7).
+func Figure3(seed int64) Verdict {
+	c := scenario.New(scenario.Options{N: 5, Seed: seed, Config: core.DefaultConfig(), MuteOracle: true})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[4], 10)
+	c.CrashDuringBroadcast(procs[0], 1, core.LabelCommit)
+	for _, obs := range procs[1:4] {
+		c.SuspectAt(obs, procs[0], 200)
+	}
+	c.Run()
+	v, err := c.StableView()
+	detail := "no stable view"
+	if err == nil {
+		detail = fmt.Sprintf("restored view %v under new Mgr %v", v, v.Mgr())
+	}
+	return Verdict{Name: "Figure 3 (interrupted commit)", CheckerOK: c.Check().OK(), Detail: detail}
+}
+
+// Figure7 runs the invisible-commit scenario (E9) and reports whether the
+// dead witness's view matched the survivors' reconstruction.
+func Figure7(seed int64) Verdict {
+	c := scenario.New(scenario.Options{N: 7, Seed: seed, Config: core.DefaultConfig(), MuteOracle: true})
+	procs := c.Initial()
+	c.SuspectAt(procs[0], procs[6], 10)
+	c.CrashDuringBroadcast(procs[0], 1, core.LabelCommit)
+	c.CrashAt(procs[1], 100)
+	for _, obs := range procs[2:6] {
+		c.SuspectAt(obs, procs[0], 200)
+		c.SuspectAt(obs, procs[1], 210)
+	}
+	c.Run()
+	grave := c.Views(procs[1])
+	alive := c.Views(procs[2])
+	detail := "invisible commit not reproduced"
+	if len(grave) >= 2 && len(alive) >= 2 {
+		same := len(grave[1].Members) == len(alive[1].Members)
+		if same {
+			g := ids.NewSet(grave[1].Members...)
+			for _, m := range alive[1].Members {
+				if !g.Has(m) {
+					same = false
+				}
+			}
+		}
+		detail = fmt.Sprintf("dead p2 held v1=%v; survivors reconstructed v1=%v; identical=%v",
+			grave[1].Members, alive[1].Members, same)
+	}
+	return Verdict{Name: "Figure 7 (invisible commit)", CheckerOK: c.Check().OK(), Detail: detail}
+}
+
+// --- E10/E11: the impossibility claims --------------------------------------
+
+// Claim71 runs the cross-suspicion split under the one-phase strawman and
+// returns the convicting report.
+func Claim71(seed int64) Verdict {
+	h := baseline.NewHarness(baseline.Options{N: 6, Seed: seed, MuteOracle: true},
+		func(id ids.ProcID, env core.Env) baseline.Node { return onephase.New(id, env) })
+	procs := h.Initial()
+	for _, p := range procs[1:4] {
+		h.SuspectAt(p, procs[0], 10)
+	}
+	h.SuspectAt(procs[0], procs[1], 10)
+	for _, p := range procs[4:6] {
+		h.SuspectAt(p, procs[1], 10)
+	}
+	h.Run()
+	rep := h.Check()
+	return Verdict{
+		Name:      "Claim 7.1 (one-phase violates GMP)",
+		CheckerOK: rep.OK(),
+		Detail:    fmt.Sprintf("%d GMP-3 violations detected", len(rep.Of("GMP-3"))),
+	}
+}
+
+// Claim72 runs the Figure 11 schedule under both reconfiguration depths.
+func Claim72(seed int64) (twoPhase, threePhase Verdict) {
+	c2 := twophase.Figure11(twophase.Config(), seed)
+	c2.Run()
+	rep2 := c2.Check()
+	twoPhase = Verdict{
+		Name:      "Claim 7.2 (two-phase reconfiguration)",
+		CheckerOK: rep2.OK(),
+		Detail:    fmt.Sprintf("%d GMP-3 violations detected", len(rep2.Of("GMP-3"))),
+	}
+	c3 := twophase.Figure11(core.DefaultConfig(), seed)
+	c3.Run()
+	rep3 := c3.Check()
+	threePhase = Verdict{
+		Name:      "Claim 7.2 control (three-phase, same schedule)",
+		CheckerOK: rep3.OK(),
+		Detail:    "invisible commit detected and propagated",
+	}
+	return twoPhase, threePhase
+}
+
+// --- E13: online churn -------------------------------------------------------
+
+// Churn runs a mixed join/exclusion stream and returns the verdict plus
+// total protocol traffic.
+func Churn(seed int64) (Verdict, int) {
+	c := scenario.New(scenario.Options{N: 6, Seed: seed, Config: core.DefaultConfig()})
+	procs := c.Initial()
+	c.CrashAt(procs[5], 50)
+	c.JoinAt(ids.ProcID{Site: "q1"}, procs[1], 400)
+	c.CrashAt(procs[4], 800)
+	c.CrashAt(procs[0], 1200)
+	c.JoinAt(ids.ProcID{Site: "q2"}, procs[2], 1800)
+	c.Run()
+	v, err := c.StableView()
+	detail := "did not converge"
+	if err == nil {
+		detail = fmt.Sprintf("final view %v after 3 exclusions + 2 joins", v)
+	}
+	return Verdict{Name: "Online churn (§7)", CheckerOK: c.Check().OK(), Detail: detail},
+		c.Messages(core.ProtocolLabels...)
+}
+
+// --- E14: cut structure -------------------------------------------------------
+
+// CutAnalysis reruns a busy schedule and reports the number of installed
+// views whose separating cuts the checker verified (Theorem 6.1).
+func CutAnalysis(seed int64) Verdict {
+	c := scenario.New(scenario.Options{N: 7, Seed: seed, Config: core.DefaultConfig()})
+	procs := c.Initial()
+	c.CrashAt(procs[6], 40)
+	c.CrashAt(procs[0], 300)
+	c.CrashAt(procs[5], 700)
+	c.Run()
+	rep := c.Check()
+	installs := 0
+	for _, e := range c.Rec.Events() {
+		if e.Kind == event.InstallView {
+			installs++
+		}
+	}
+	return Verdict{
+		Name:      "Theorem 6.1 (cut separation)",
+		CheckerOK: rep.OK(),
+		Detail: fmt.Sprintf("%d view installations, %d cut violations",
+			installs, len(rep.Of("CUT"))),
+	}
+}
+
+// RunGMPCheck executes a standard mixed schedule and returns the checker
+// report — the harness's catch-all compliance row.
+func RunGMPCheck(n int, seed int64) *check.Report {
+	c := scenario.New(scenario.Options{N: n, Seed: seed, Config: core.DefaultConfig()})
+	procs := c.Initial()
+	c.CrashAt(procs[n-1], 50)
+	c.CrashAt(procs[0], 400)
+	c.JoinAt(ids.ProcID{Site: "j1"}, procs[1], 900)
+	c.Run()
+	return c.Check()
+}

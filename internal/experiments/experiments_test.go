@@ -1,0 +1,130 @@
+package experiments
+
+import "testing"
+
+func TestTwoPhaseCostMatchesPaper(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		got, want := TwoPhaseCost(n, 1)
+		if got != want {
+			t.Errorf("n=%d: two-phase %d, paper %d", n, got, want)
+		}
+	}
+}
+
+func TestCompressedStreamMatchesPaper(t *testing.T) {
+	for _, n := range []int{4, 6, 8, 12, 16} {
+		got, want := CompressedStreamCost(n, 1)
+		if got != want {
+			t.Errorf("n=%d: compressed stream %d, paper (n−1)²=%d", n, got, want)
+		}
+	}
+}
+
+func TestReconfigCostMatchesPaper(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		got, want := ReconfigCost(n, 1)
+		if got != want {
+			t.Errorf("n=%d: reconfiguration %d, paper %d", n, got, want)
+		}
+	}
+}
+
+func TestPlainStreamCostsMoreThanCompressed(t *testing.T) {
+	for _, n := range []int{6, 8, 12} {
+		plain, paperPlain := PlainStreamCost(n, 1)
+		comp, paperComp := CompressedStreamCost(n, 1)
+		if plain != paperPlain {
+			t.Errorf("n=%d: plain stream %d, paper %d", n, plain, paperPlain)
+		}
+		if comp >= plain {
+			t.Errorf("n=%d: compression saved nothing (%d vs %d)", n, comp, plain)
+		}
+		if paperComp >= paperPlain {
+			t.Errorf("n=%d: paper formulas inverted", n)
+		}
+	}
+}
+
+func TestWorstCaseChainQuadratic(t *testing.T) {
+	// The worst case is O(n²): dividing by n² must stay bounded while a
+	// linear fit would not. Compare growth against the single
+	// reconfiguration cost (5n−9, linear).
+	prevRatio := 0.0
+	for _, n := range []int{8, 16, 32} {
+		got, attempts, err := WorstCaseChain(n, 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if attempts != n-(n/2+1) {
+			t.Errorf("n=%d: τ=%d, want %d", n, attempts, n-(n/2+1))
+		}
+		single, _ := ReconfigCost(n, 1)
+		ratio := float64(got) / float64(single)
+		if ratio <= prevRatio {
+			t.Errorf("n=%d: worst-case/single ratio %.1f did not grow (prev %.1f): not superlinear",
+				n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestSymmetricAndOnePhaseCosts(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		if got, want := SymmetricCost(n, 1); got != want {
+			t.Errorf("n=%d: symmetric %d, want %d", n, got, want)
+		}
+		if got, want := OnePhaseCost(n, 1); got != want {
+			t.Errorf("n=%d: one-phase %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1(21)
+	if len(rows) != 4 {
+		t.Fatalf("Table1 returned %d rows", len(rows))
+	}
+	wantQ := []bool{false, true, true, true}
+	wantP := []bool{true, false, true, false}
+	for i, row := range rows {
+		if row.QInitiated != wantQ[i] || row.PInitiated != wantP[i] {
+			t.Errorf("row %d (%s/%s): q=%v p=%v, want q=%v p=%v",
+				i+1, row.PActual, row.QThinksP, row.QInitiated, row.PInitiated, wantQ[i], wantP[i])
+		}
+		if !row.CheckerOK {
+			t.Errorf("row %d: checker failed", i+1)
+		}
+		if row.NewMgr.IsNil() {
+			t.Errorf("row %d: no new coordinator", i+1)
+		}
+	}
+}
+
+func TestScenarioVerdicts(t *testing.T) {
+	if v := Figure3(22); !v.CheckerOK {
+		t.Errorf("Figure 3: %+v", v)
+	}
+	if v := Figure7(24); !v.CheckerOK {
+		t.Errorf("Figure 7: %+v", v)
+	}
+	if v := Claim71(31); v.CheckerOK {
+		t.Errorf("Claim 7.1 strawman unexpectedly passed: %+v", v)
+	}
+	two, three := Claim72(51)
+	if two.CheckerOK {
+		t.Errorf("Claim 7.2 two-phase unexpectedly passed: %+v", two)
+	}
+	if !three.CheckerOK {
+		t.Errorf("Claim 7.2 three-phase control failed: %+v", three)
+	}
+	churn, msgs := Churn(61)
+	if !churn.CheckerOK || msgs == 0 {
+		t.Errorf("churn: %+v (%d msgs)", churn, msgs)
+	}
+	if v := CutAnalysis(71); !v.CheckerOK {
+		t.Errorf("cut analysis: %+v", v)
+	}
+	if rep := RunGMPCheck(6, 81); !rep.OK() {
+		t.Errorf("standard compliance run failed:\n%v", rep)
+	}
+}

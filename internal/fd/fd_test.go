@@ -1,0 +1,101 @@
+package fd
+
+import (
+	"testing"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/netsim"
+	"procgroup/internal/sim"
+)
+
+func setup(seed int64) (*sim.Scheduler, *netsim.Network, *Oracle) {
+	s := sim.NewScheduler(seed)
+	n := netsim.New(s, netsim.ConstDelay(1), nil)
+	o := NewOracle(s, n, netsim.ConstDelay(10))
+	return s, n, o
+}
+
+func TestCrashPropagatesToAllLiveObservers(t *testing.T) {
+	s, n, o := setup(1)
+	procs := ids.Gen(4)
+	suspects := map[ids.ProcID][]ids.ProcID{}
+	for _, p := range procs {
+		p := p
+		n.Register(p, func(ids.ProcID, any) {})
+		o.Register(p, func(q ids.ProcID) { suspects[p] = append(suspects[p], q) })
+	}
+	s.At(5, func() { n.Crash(procs[3]) })
+	s.Run()
+	for _, p := range procs[:3] {
+		if len(suspects[p]) != 1 || suspects[p][0] != procs[3] {
+			t.Errorf("%v suspects = %v, want [p4]", p, suspects[p])
+		}
+	}
+	if len(suspects[procs[3]]) != 0 {
+		t.Error("crashed process received a suspicion of itself")
+	}
+}
+
+func TestDetectionHasLatency(t *testing.T) {
+	s, n, o := setup(1)
+	a, b := ids.Named("a"), ids.Named("b")
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	var at sim.Time = -1
+	o.Register(a, func(ids.ProcID) { at = s.Now() })
+	o.Register(b, func(ids.ProcID) {})
+	s.At(5, func() { n.Crash(b) })
+	s.Run()
+	if at != 15 {
+		t.Errorf("suspicion at %d, want crash(5) + delay(10) = 15", at)
+	}
+}
+
+func TestCrashedObserverGetsNoSuspicions(t *testing.T) {
+	s, n, o := setup(1)
+	a, b, c := ids.Named("a"), ids.Named("b"), ids.Named("c")
+	for _, p := range []ids.ProcID{a, b, c} {
+		n.Register(p, func(ids.ProcID, any) {})
+	}
+	fired := false
+	o.Register(a, func(ids.ProcID) { fired = true })
+	o.Register(b, func(ids.ProcID) {})
+	s.At(5, func() { n.Crash(c) })
+	s.At(7, func() { n.Crash(a) }) // a dies before its detection at 15
+	s.Run()
+	if fired {
+		t.Error("a was dead at detection time but its callback fired")
+	}
+}
+
+func TestInjectSpuriousSuspicion(t *testing.T) {
+	s, n, o := setup(1)
+	a, b := ids.Named("a"), ids.Named("b")
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	var got []ids.ProcID
+	o.Register(a, func(q ids.ProcID) { got = append(got, q) })
+	o.Inject(a, b, 3) // b is alive — spurious detection
+	s.Run()
+	if len(got) != 1 || got[0] != b {
+		t.Errorf("injected suspicion = %v", got)
+	}
+	if !n.Alive(b) {
+		t.Error("injection must not kill the suspect")
+	}
+}
+
+func TestMuteSuppressesAutomaticDetection(t *testing.T) {
+	s, n, o := setup(1)
+	a, b := ids.Named("a"), ids.Named("b")
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	fired := false
+	o.Register(a, func(ids.ProcID) { fired = true })
+	o.Mute()
+	s.At(1, func() { n.Crash(b) })
+	s.Run()
+	if fired {
+		t.Error("muted oracle still propagated a crash")
+	}
+}

@@ -1,0 +1,142 @@
+// Package ids defines process identities for the group membership protocol.
+//
+// The paper models recovery by treating a "recovered" process as a new and
+// different process instance (§1). An identity therefore carries both a site
+// name and an incarnation number: a process that crashes and later rejoins
+// does so under a fresh incarnation, which is what lets the protocol satisfy
+// GMP-4 (no re-instatement) while still supporting joins.
+package ids
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ProcID identifies a single process instance. The zero value is Nil.
+type ProcID struct {
+	// Site is the stable name of the host/slot, e.g. "p3".
+	Site string
+	// Incarnation distinguishes successive instances at the same site.
+	// A recovered process always carries a larger incarnation.
+	Incarnation uint32
+}
+
+// Nil is the distinguished "no process" identifier (the paper's nil-id).
+var Nil = ProcID{}
+
+// IsNil reports whether p is the nil identifier.
+func (p ProcID) IsNil() bool { return p == Nil }
+
+// String renders the identifier as "site" for incarnation 0 and
+// "site#k" for later incarnations.
+func (p ProcID) String() string {
+	if p.IsNil() {
+		return "<nil-id>"
+	}
+	if p.Incarnation == 0 {
+		return p.Site
+	}
+	return p.Site + "#" + strconv.FormatUint(uint64(p.Incarnation), 10)
+}
+
+// Less orders identifiers lexicographically by site then incarnation.
+// This order is only used for deterministic iteration, never for rank:
+// rank is seniority within a view (see internal/member).
+func (p ProcID) Less(q ProcID) bool {
+	if p.Site != q.Site {
+		return p.Site < q.Site
+	}
+	return p.Incarnation < q.Incarnation
+}
+
+// Parse parses the String form back into a ProcID.
+func Parse(s string) (ProcID, error) {
+	if s == "" || s == "<nil-id>" {
+		return Nil, nil
+	}
+	site, incStr, found := strings.Cut(s, "#")
+	if !found {
+		return ProcID{Site: site}, nil
+	}
+	inc, err := strconv.ParseUint(incStr, 10, 32)
+	if err != nil {
+		return Nil, fmt.Errorf("ids: parse %q: %w", s, err)
+	}
+	return ProcID{Site: site, Incarnation: uint32(inc)}, nil
+}
+
+// Named returns the incarnation-0 identifier for a site name.
+func Named(site string) ProcID { return ProcID{Site: site} }
+
+// Gen deterministically generates n incarnation-0 process identifiers
+// named p1..pn. It is the conventional way scenarios and tests build an
+// initial group.
+func Gen(n int) []ProcID {
+	out := make([]ProcID, n)
+	for i := range out {
+		out[i] = ProcID{Site: "p" + strconv.Itoa(i+1)}
+	}
+	return out
+}
+
+// Set is a mutable set of process identifiers.
+type Set map[ProcID]struct{}
+
+// NewSet builds a set from the given members.
+func NewSet(members ...ProcID) Set {
+	s := make(Set, len(members))
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// Add inserts p into the set.
+func (s Set) Add(p ProcID) { s[p] = struct{}{} }
+
+// Remove deletes p from the set.
+func (s Set) Remove(p ProcID) { delete(s, p) }
+
+// Has reports whether p is in the set.
+func (s Set) Has(p ProcID) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Len returns the number of members.
+func (s Set) Len() int { return len(s) }
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	for p := range s {
+		c.Add(p)
+	}
+	return c
+}
+
+// Sorted returns the members in deterministic (Less) order.
+func (s Set) Sorted() []ProcID {
+	out := make([]ProcID, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// String renders the set in deterministic order, e.g. "{p1, p2#1}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcIDString(t *testing.T) {
+	tests := []struct {
+		name string
+		id   ProcID
+		want string
+	}{
+		{"nil", Nil, "<nil-id>"},
+		{"incarnation zero", ProcID{Site: "p1"}, "p1"},
+		{"incarnation one", ProcID{Site: "p1", Incarnation: 1}, "p1#1"},
+		{"large incarnation", ProcID{Site: "node-a", Incarnation: 42}, "node-a#42"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.id.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []ProcID{
+		Nil,
+		{Site: "p1"},
+		{Site: "p1", Incarnation: 3},
+		{Site: "node-b", Incarnation: 100},
+	}
+	for _, id := range tests {
+		got, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("Parse(String(%v)) = %v, want identity", id, got)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	if _, err := Parse("p1#notanumber"); err == nil {
+		t.Error("Parse of malformed incarnation should fail")
+	}
+}
+
+func TestIsNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if Named("p1").IsNil() {
+		t.Error("Named(p1).IsNil() = true")
+	}
+}
+
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	f := func(a, b ProcID) bool {
+		less, greater := a.Less(b), b.Less(a)
+		if a == b {
+			return !less && !greater
+		}
+		return less != greater // exactly one direction holds
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGen(t *testing.T) {
+	got := Gen(3)
+	want := []ProcID{Named("p1"), Named("p2"), Named("p3")}
+	if len(got) != len(want) {
+		t.Fatalf("Gen(3) returned %d ids", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Gen(3)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(Named("a"), Named("b"))
+	if !s.Has(Named("a")) || !s.Has(Named("b")) {
+		t.Fatal("missing members after NewSet")
+	}
+	if s.Has(Named("c")) {
+		t.Fatal("unexpected member c")
+	}
+	s.Add(Named("c"))
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	s.Remove(Named("a"))
+	if s.Has(Named("a")) {
+		t.Fatal("a still present after Remove")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestSetCloneIsIndependent(t *testing.T) {
+	s := NewSet(Named("a"))
+	c := s.Clone()
+	c.Add(Named("b"))
+	if s.Has(Named("b")) {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestSetSortedDeterministic(t *testing.T) {
+	s := NewSet(Named("b"), Named("a"), ProcID{Site: "a", Incarnation: 2})
+	got := s.Sorted()
+	want := []ProcID{Named("a"), {Site: "a", Incarnation: 2}, Named("b")}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sorted()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.String() != "{a, a#2, b}" {
+		t.Errorf("String() = %q", s.String())
+	}
+}

@@ -1,0 +1,445 @@
+// Package live runs the GMP protocol on real goroutines with real time:
+// one goroutine per process, an in-memory transport, and a heartbeat
+// failure detector implementing F1 (§2.2) — the deployment shape the paper
+// targets ("a constant flow of requests … which is exactly what occurs in
+// actual systems"). The protocol code is the same internal/core state
+// machine the simulator runs; only the substrate differs.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/trace"
+)
+
+// Heartbeat is the failure-detection beacon; it is substrate traffic and is
+// never delivered to the protocol state machine.
+type Heartbeat struct{}
+
+// MsgLabel implements netsim.Labeled for uniform counting.
+func (Heartbeat) MsgLabel() string { return "Heartbeat" }
+
+// Options configures a live cluster.
+type Options struct {
+	// N is the initial group size.
+	N int
+	// Config is the protocol configuration (DefaultConfig if zero).
+	Config *core.Config
+	// HeartbeatEvery is the beacon interval (default 20ms).
+	HeartbeatEvery time.Duration
+	// SuspectAfter is the silence threshold before faulty_p(q) fires
+	// (default 6 × HeartbeatEvery).
+	SuspectAfter time.Duration
+}
+
+// ViewUpdate is one installed view, published to subscribers.
+type ViewUpdate struct {
+	Proc    ids.ProcID
+	Ver     member.Version
+	Members []ids.ProcID
+}
+
+// Cluster is a running group of live protocol nodes.
+type Cluster struct {
+	opts Options
+	rec  *trace.Recorder
+
+	mu      sync.Mutex
+	nodes   map[ids.ProcID]*liveNode
+	updates chan ViewUpdate
+	start   time.Time
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// liveNode is one process: a core.Node driven by a goroutine event loop.
+type liveNode struct {
+	c    *Cluster
+	id   ids.ProcID
+	box  *mailbox
+	stop chan struct{}
+	done chan struct{}
+
+	// loop-owned state (never touched outside the event loop):
+	node     *core.Node
+	lastSeen map[ids.ProcID]time.Time
+}
+
+// Start boots a cluster of opts.N processes and waits until every node has
+// installed the initial view.
+func Start(opts Options) *Cluster {
+	if opts.N <= 0 {
+		opts.N = 3
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 20 * time.Millisecond
+	}
+	if opts.SuspectAfter <= 0 {
+		opts.SuspectAfter = 6 * opts.HeartbeatEvery
+	}
+	cfg := core.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	// Live timers tick in milliseconds.
+	if cfg.ReconfigWait == 0 {
+		cfg.ReconfigWait = int64(4 * opts.SuspectAfter / time.Millisecond)
+	}
+
+	c := &Cluster{
+		opts:    opts,
+		nodes:   make(map[ids.ProcID]*liveNode, opts.N),
+		updates: make(chan ViewUpdate, 1024),
+		start:   time.Now(),
+	}
+	c.rec = trace.NewRecorder(func() int64 { return int64(time.Since(c.start) / time.Microsecond) })
+
+	procs := ids.Gen(opts.N)
+	c.mu.Lock()
+	for _, p := range procs {
+		c.spawnLocked(p, cfg)
+	}
+	for _, p := range procs {
+		ln := c.nodes[p]
+		ln.box.put(envelope{fn: func() { ln.node.Bootstrap(procs) }})
+	}
+	c.mu.Unlock()
+	return c
+}
+
+// spawnLocked creates and starts a node goroutine; c.mu must be held.
+func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
+	ln := &liveNode{
+		c:        c,
+		id:       p,
+		box:      newMailbox(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		lastSeen: make(map[ids.ProcID]time.Time),
+	}
+	ln.node = core.New(p, (*liveEnv)(ln), cfg)
+	c.nodes[p] = ln
+	c.rec.RecordStart(p)
+	c.wg.Add(1)
+	go ln.run()
+	return ln
+}
+
+// run is the node's event loop: heartbeats, failure detection, mailbox.
+func (ln *liveNode) run() {
+	defer close(ln.done)
+	defer ln.c.wg.Done()
+	tick := time.NewTicker(ln.c.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ln.stop:
+			return
+		case <-tick.C:
+			ln.beat()
+		case <-ln.box.wake:
+			for {
+				e, ok := ln.box.take()
+				if !ok {
+					break
+				}
+				ln.dispatch(e)
+				if !ln.node.Alive() {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (ln *liveNode) dispatch(e envelope) {
+	if e.fn != nil {
+		e.fn()
+		return
+	}
+	from, err := ids.Parse(e.from)
+	if err != nil {
+		return
+	}
+	ln.lastSeen[from] = time.Now()
+	if _, isBeat := e.payload.(Heartbeat); isBeat {
+		return
+	}
+	if e.msgID != 0 {
+		ln.c.rec.RecordRecv(from, ln.id, e.msgID, labelOf(e.payload))
+	}
+	ln.node.Deliver(from, e.payload)
+}
+
+// beat sends heartbeats to every current view member and raises suspicions
+// for members silent past the threshold (F1).
+func (ln *liveNode) beat() {
+	v := ln.node.View()
+	if v == nil {
+		return
+	}
+	now := time.Now()
+	for _, m := range v.Members() {
+		if m == ln.id {
+			continue
+		}
+		ln.c.post(ln.id, m, 0, Heartbeat{})
+		seen, ok := ln.lastSeen[m]
+		if !ok {
+			ln.lastSeen[m] = now
+			continue
+		}
+		if now.Sub(seen) > ln.c.opts.SuspectAfter {
+			ln.node.Suspect(m)
+		}
+	}
+}
+
+// post routes a payload to the destination mailbox. Mailboxes are FIFO, so
+// the per-channel ordering the protocol requires (§2.1) holds by
+// construction; the simulator, not the live transport, is where adversarial
+// reordering across channels is exercised. msgID correlates the receive
+// with its recorded send (0 = unrecorded substrate traffic).
+func (c *Cluster) post(from, to ids.ProcID, msgID int64, payload any) {
+	c.mu.Lock()
+	dst, ok := c.nodes[to]
+	c.mu.Unlock()
+	if !ok {
+		return // dead or unknown host: the datagram is lost
+	}
+	dst.box.put(envelope{from: from.String(), payload: payload, msgID: msgID})
+}
+
+// liveEnv adapts a liveNode to core.Env; all methods run on the event loop.
+type liveEnv liveNode
+
+func (e *liveEnv) Send(to ids.ProcID, payload any) {
+	ln := (*liveNode)(e)
+	id := msgID(ln.c)
+	ln.c.rec.RecordSend(ln.id, to, id, labelOf(payload))
+	ln.c.post(ln.id, to, id, payload)
+}
+
+var msgSeq struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func msgID(*Cluster) int64 {
+	msgSeq.mu.Lock()
+	defer msgSeq.mu.Unlock()
+	msgSeq.n++
+	return msgSeq.n
+}
+
+func labelOf(payload any) string {
+	if l, ok := payload.(interface{ MsgLabel() string }); ok {
+		return l.MsgLabel()
+	}
+	return fmt.Sprintf("%T", payload)
+}
+
+func (e *liveEnv) After(d int64, fn func()) (cancel func()) {
+	ln := (*liveNode)(e)
+	var once sync.Once
+	cancelled := make(chan struct{})
+	t := time.AfterFunc(time.Duration(d)*time.Millisecond, func() {
+		select {
+		case <-cancelled:
+		default:
+			ln.box.put(envelope{fn: fn})
+		}
+	})
+	return func() {
+		once.Do(func() { close(cancelled); t.Stop() })
+	}
+}
+
+func (e *liveEnv) Quit() {
+	ln := (*liveNode)(e)
+	ln.c.unregister(ln.id)
+}
+
+func (e *liveEnv) Record(k event.Kind, other ids.ProcID) {
+	ln := (*liveNode)(e)
+	ln.c.rec.RecordInternal(ln.id, k, other)
+}
+
+func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
+	ln := (*liveNode)(e)
+	ln.c.rec.RecordInstall(ln.id, ver, members)
+	upd := ViewUpdate{Proc: ln.id, Ver: ver, Members: members}
+	select {
+	case ln.c.updates <- upd:
+	default: // subscriber too slow; drop rather than wedge the protocol
+	}
+}
+
+// unregister removes a node from the transport (its mailbox stops
+// accepting) without joining its goroutine; the loop exits on its own.
+func (c *Cluster) unregister(p ids.ProcID) {
+	c.mu.Lock()
+	ln, ok := c.nodes[p]
+	if ok {
+		delete(c.nodes, p)
+	}
+	c.mu.Unlock()
+	if ok {
+		ln.box.close()
+	}
+}
+
+// --- Public surface ---------------------------------------------------------
+
+// Updates streams installed views from every node (best effort).
+func (c *Cluster) Updates() <-chan ViewUpdate { return c.updates }
+
+// Recorder exposes the run trace.
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
+
+// Kill hard-crashes a process: its goroutine stops and its mailbox is
+// removed, exactly like a host failure.
+func (c *Cluster) Kill(p ids.ProcID) {
+	c.mu.Lock()
+	ln, ok := c.nodes[p]
+	if ok {
+		delete(c.nodes, p)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	close(ln.stop)
+	ln.box.close()
+	<-ln.done
+}
+
+// Join spawns a new process that asks contact to sponsor it into the group.
+func (c *Cluster) Join(p, contact ids.ProcID) {
+	cfg := core.DefaultConfig()
+	if c.opts.Config != nil {
+		cfg = *c.opts.Config
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	ln := c.spawnLocked(p, cfg)
+	c.mu.Unlock()
+	ln.box.put(envelope{fn: func() { ln.node.StartJoin(contact) }})
+}
+
+// Query runs fn on p's event loop and waits for it — the only safe way to
+// read node state.
+func (c *Cluster) Query(p ids.ProcID, fn func(n *core.Node)) bool {
+	c.mu.Lock()
+	ln, ok := c.nodes[p]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	done := make(chan struct{})
+	ln.box.put(envelope{fn: func() {
+		fn(ln.node)
+		close(done)
+	}})
+	select {
+	case <-done:
+		return true
+	case <-ln.done:
+		return false
+	}
+}
+
+// ViewOf returns p's current view, or nil if p is gone.
+func (c *Cluster) ViewOf(p ids.ProcID) *member.View {
+	var v *member.View
+	c.Query(p, func(n *core.Node) { v = n.View() })
+	return v
+}
+
+// Running lists the processes still executing, in deterministic order.
+func (c *Cluster) Running() []ids.ProcID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ids.NewSet()
+	for p := range c.nodes {
+		s.Add(p)
+	}
+	return s.Sorted()
+}
+
+// WaitConverged polls until every running process reports the same view
+// and that view's membership equals the running set, or the deadline
+// passes. It returns the converged view or an error.
+func (c *Cluster) WaitConverged(timeout time.Duration) (*member.View, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		v, err := c.converged()
+		if err == nil {
+			return v, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("live: not converged after %v: %w", timeout, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (c *Cluster) converged() (*member.View, error) {
+	running := c.Running()
+	if len(running) == 0 {
+		return nil, fmt.Errorf("no processes running")
+	}
+	var ref *member.View
+	for _, p := range running {
+		v := c.ViewOf(p)
+		if v == nil {
+			return nil, fmt.Errorf("%v has no view yet", p)
+		}
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !ref.Equal(v) {
+			return nil, fmt.Errorf("%v differs: %v vs %v", p, ref, v)
+		}
+	}
+	for _, p := range running {
+		if !ref.Has(p) {
+			return nil, fmt.Errorf("running %v not yet in view %v", p, ref)
+		}
+	}
+	if ref.Size() != len(running) {
+		return nil, fmt.Errorf("view %v larger than running set %v", ref, running)
+	}
+	return ref, nil
+}
+
+// Stop shuts the cluster down and waits for every goroutine to exit.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	nodes := make([]*liveNode, 0, len(c.nodes))
+	for _, ln := range c.nodes {
+		nodes = append(nodes, ln)
+	}
+	c.nodes = make(map[ids.ProcID]*liveNode)
+	c.mu.Unlock()
+	for _, ln := range nodes {
+		close(ln.stop)
+		ln.box.close()
+	}
+	c.wg.Wait()
+}

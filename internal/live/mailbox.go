@@ -1,0 +1,65 @@
+package live
+
+import "sync"
+
+// mailbox is an unbounded FIFO queue with a wake channel. Unbounded is the
+// right trade here: protocol traffic is small and bounded by group size,
+// and a bounded mailbox could deadlock two nodes sending to each other's
+// full queues from their own event loops.
+type mailbox struct {
+	mu     sync.Mutex
+	items  []envelope
+	wake   chan struct{}
+	closed bool
+}
+
+// envelope is one queued input for a node's event loop.
+type envelope struct {
+	from    string // sender id string (empty for local closures)
+	payload any
+	msgID   int64  // trace correlation id (0 for unrecorded traffic)
+	fn      func() // when non-nil, a local task (timer, query)
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{wake: make(chan struct{}, 1)}
+}
+
+// put enqueues an envelope; it never blocks.
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.items = append(m.items, e)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take dequeues the next envelope, reporting false when the box is empty.
+func (m *mailbox) take() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.items) == 0 {
+		return envelope{}, false
+	}
+	e := m.items[0]
+	m.items = m.items[1:]
+	return e, true
+}
+
+// close discards queued items and rejects future puts.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.items = nil
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}

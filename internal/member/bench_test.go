@@ -1,0 +1,46 @@
+package member
+
+import (
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+func BenchmarkViewApplyRemove(b *testing.B) {
+	procs := ids.Gen(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := NewView(procs)
+		for _, p := range procs[1:] {
+			if err := v.Apply(Remove(p)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkViewRank(b *testing.B) {
+	v := NewView(ids.Gen(128))
+	target := ids.Named("p64")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v.Rank(target) == 0 {
+			b.Fatal("member lost")
+		}
+	}
+}
+
+func BenchmarkSeqMinus(b *testing.B) {
+	procs := ids.Gen(256)
+	var s Seq
+	for _, p := range procs {
+		s = append(s, Remove(p))
+	}
+	prefix := s[:255]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Minus(prefix); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package member implements the membership bookkeeping of the paper:
+// local views Memb(p) with seniority ranks (§4.2), view versions ver(p),
+// committed-operation sequences seq(p) (§4.4), expectation triples next(p)
+// (§4.4), and the majority arithmetic of §7 (Facts 7.1–7.3, Prop. 7.1).
+package member
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"procgroup/internal/ids"
+)
+
+// Version is the ordinal of a local or system view: Memb⁰ has Version 0,
+// installing one update produces Version 1, and so on. The paper's ver(p).
+type Version int
+
+// OpKind says whether an update adds or removes a process (§7 extends the
+// exclusion-only protocol with 'add').
+type OpKind uint8
+
+// Enum of operation kinds; starts at 1 so the zero value is invalid.
+const (
+	// OpRemove excludes a process from the view.
+	OpRemove OpKind = iota + 1
+	// OpAdd joins a process to the view (lowest seniority).
+	OpAdd
+)
+
+// String returns the paper's spelling of the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRemove:
+		return "remove"
+	case OpAdd:
+		return "add"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is a single membership update, the paper's op(proc-id).
+// The zero Op is the nil operation (nil-id): "no further change planned".
+type Op struct {
+	Kind   OpKind
+	Target ids.ProcID
+}
+
+// NilOp is the "no pending operation" marker (the paper's nil-id).
+var NilOp = Op{}
+
+// IsNil reports whether the operation is the nil-id marker.
+func (o Op) IsNil() bool { return o == NilOp }
+
+// Remove builds a removal operation.
+func Remove(target ids.ProcID) Op { return Op{Kind: OpRemove, Target: target} }
+
+// Add builds a join operation.
+func Add(target ids.ProcID) Op { return Op{Kind: OpAdd, Target: target} }
+
+// String renders the op as the paper writes it, e.g. "remove(p3)".
+func (o Op) String() string {
+	if o.IsNil() {
+		return "nil-id"
+	}
+	return o.Kind.String() + "(" + o.Target.String() + ")"
+}
+
+// Seq is the sequence of operations a process has committed, the paper's
+// seq(p). Two processes with equal Seq have identical local views
+// (Theorem 5.1); the reconfiguration Phase-I responses carry it so the
+// initiator can compute the catch-up list RL_r = seq(L) − seq(r).
+type Seq []Op
+
+// Clone returns an independent copy.
+func (s Seq) Clone() Seq {
+	if s == nil {
+		return nil
+	}
+	out := make(Seq, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports element-wise equality.
+func (s Seq) Equal(t Seq) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrefixOf reports whether s is a (possibly equal) prefix of t.
+func (s Seq) IsPrefixOf(t Seq) bool {
+	if len(s) > len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Minus returns the suffix of s that extends the shorter sequence t.
+// It is the paper's seq(L) − seq(r) (procedure Determine, line D.0) and
+// requires t to be a prefix of s.
+func (s Seq) Minus(t Seq) (Seq, error) {
+	if !t.IsPrefixOf(s) {
+		return nil, fmt.Errorf("member: %v is not a prefix of %v", t, s)
+	}
+	return s[len(t):].Clone(), nil
+}
+
+// String renders the sequence, e.g. "[remove(p2) add(p5)]".
+func (s Seq) String() string {
+	parts := make([]string, len(s))
+	for i, op := range s {
+		parts[i] = op.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Triple is an entry of next(p): process p expects coordinator Coord to
+// commit operation Op, resulting in view version Ver (§4.4). The wildcard
+// entry (? : r : ?) recorded when answering an interrogation has
+// Wildcard == true, in which case Op and Ver are meaningless.
+type Triple struct {
+	Op       Op
+	Coord    ids.ProcID
+	Ver      Version
+	Wildcard bool
+}
+
+// WildcardFor builds the (? : r : ?) triple appended when a process
+// responds to recv(r, p, Interrogate).
+func WildcardFor(coord ids.ProcID) Triple {
+	return Triple{Coord: coord, Wildcard: true}
+}
+
+// String renders the triple in the paper's (op : coord : ver) notation.
+func (t Triple) String() string {
+	if t.Wildcard {
+		return "(? : " + t.Coord.String() + " : ?)"
+	}
+	return fmt.Sprintf("(%s : %s : %d)", t.Op, t.Coord, t.Ver)
+}
+
+// Next is the expectation list next(p) described in §4.4. It is kept short:
+// a quiescent process has an empty list or the single contingent entry from
+// the last commit; answering an interrogation appends a wildcard; a proposal
+// replaces the list outright.
+type Next []Triple
+
+// Clone returns an independent copy.
+func (n Next) Clone() Next {
+	if n == nil {
+		return nil
+	}
+	out := make(Next, len(n))
+	copy(out, n)
+	return out
+}
+
+// MaxVer returns the largest concrete version among the entries, or -1 if
+// there is none. Prop. 5.3 proves max_{π∈next(q)} 3rd(π) = ver(q)+1 for
+// non-faulty q.
+func (n Next) MaxVer() Version {
+	max := Version(-1)
+	for _, t := range n {
+		if !t.Wildcard && t.Ver > max {
+			max = t.Ver
+		}
+	}
+	return max
+}
+
+// String renders the list.
+func (n Next) String() string {
+	parts := make([]string, len(n))
+	for i, t := range n {
+		parts[i] = t.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Errors returned by View operations.
+var (
+	ErrNotMember     = errors.New("member: process not in view")
+	ErrAlreadyMember = errors.New("member: process already in view")
+	ErrNilTarget     = errors.New("member: operation targets nil-id")
+)
+
+// View is a local membership view Memb(p): an ordered list of processes in
+// decreasing seniority. The first element is the most senior member and is
+// the coordinator Mgr; rank(p) = |view| − index(p), so rank(Mgr) = |view|
+// and the least senior member has rank 1 (§4.2). Joins append at the end
+// (lowest seniority), which keeps relative ranks stable (§4.2: "while p and
+// q are in the same system views, their ranking relative to each other will
+// not change").
+type View struct {
+	ver     Version
+	members []ids.ProcID
+	index   map[ids.ProcID]int
+}
+
+// NewView builds the version-0 view over the given processes in seniority
+// order. The slice is copied (do not share).
+func NewView(members []ids.ProcID) *View { return NewViewAt(members, 0) }
+
+// NewViewAt builds a view at an explicit version; joiners install the view
+// a StateTransfer hands them at its recorded version.
+func NewViewAt(members []ids.ProcID, ver Version) *View {
+	v := &View{
+		ver:     ver,
+		members: make([]ids.ProcID, len(members)),
+		index:   make(map[ids.ProcID]int, len(members)),
+	}
+	copy(v.members, members)
+	for i, m := range v.members {
+		v.index[m] = i
+	}
+	return v
+}
+
+// Clone returns a deep copy of the view.
+func (v *View) Clone() *View {
+	c := &View{
+		ver:     v.ver,
+		members: make([]ids.ProcID, len(v.members)),
+		index:   make(map[ids.ProcID]int, len(v.index)),
+	}
+	copy(c.members, v.members)
+	for i, m := range c.members {
+		c.index[m] = i
+	}
+	return c
+}
+
+// Version returns ver(p), the number of updates applied so far.
+func (v *View) Version() Version { return v.ver }
+
+// Size returns the number of members.
+func (v *View) Size() int { return len(v.members) }
+
+// Members returns the members in seniority order (most senior first).
+// The returned slice is a copy.
+func (v *View) Members() []ids.ProcID {
+	out := make([]ids.ProcID, len(v.members))
+	copy(out, v.members)
+	return out
+}
+
+// Has reports whether p is a member.
+func (v *View) Has(p ids.ProcID) bool {
+	_, ok := v.index[p]
+	return ok
+}
+
+// Mgr returns the coordinator: the most senior member. Calling Mgr on an
+// empty view returns ids.Nil.
+func (v *View) Mgr() ids.ProcID {
+	if len(v.members) == 0 {
+		return ids.Nil
+	}
+	return v.members[0]
+}
+
+// Rank returns the paper's rank(p) within this view: |view| for the most
+// senior member (Mgr), 1 for the least senior. Rank of a non-member is 0
+// ("the rank of an excluded process is undefined").
+func (v *View) Rank(p ids.ProcID) int {
+	i, ok := v.index[p]
+	if !ok {
+		return 0
+	}
+	return len(v.members) - i
+}
+
+// HigherRanked returns the members strictly outranking p, in seniority
+// order. It is the commonly-known universe from which HiFaulty(p) draws.
+func (v *View) HigherRanked(p ids.ProcID) []ids.ProcID {
+	i, ok := v.index[p]
+	if !ok {
+		return nil
+	}
+	out := make([]ids.ProcID, i)
+	copy(out, v.members[:i])
+	return out
+}
+
+// Majority returns the size of a majority subset: ⌊n/2⌋ + 1 (the paper's
+// µ_{r,c}).
+func (v *View) Majority() int { return Majority(len(v.members)) }
+
+// Apply mutates the view with one operation and bumps the version.
+// Removal preserves the relative order of the survivors (everyone
+// lower-ranked moves up one rank, §4.2); addition appends at lowest
+// seniority.
+func (v *View) Apply(op Op) error {
+	if op.IsNil() || op.Target.IsNil() {
+		return ErrNilTarget
+	}
+	switch op.Kind {
+	case OpRemove:
+		i, ok := v.index[op.Target]
+		if !ok {
+			return fmt.Errorf("%w: remove %v from %v", ErrNotMember, op.Target, v)
+		}
+		v.members = append(v.members[:i], v.members[i+1:]...)
+		delete(v.index, op.Target)
+		for j := i; j < len(v.members); j++ {
+			v.index[v.members[j]] = j
+		}
+	case OpAdd:
+		if v.Has(op.Target) {
+			return fmt.Errorf("%w: add %v to %v", ErrAlreadyMember, op.Target, v)
+		}
+		v.index[op.Target] = len(v.members)
+		v.members = append(v.members, op.Target)
+	default:
+		return fmt.Errorf("member: unknown op kind %v", op.Kind)
+	}
+	v.ver++
+	return nil
+}
+
+// ApplyAll applies the operations in order, stopping at the first error.
+func (v *View) ApplyAll(ops Seq) error {
+	for _, op := range ops {
+		if err := v.Apply(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two views have the same version and membership
+// (including seniority order).
+func (v *View) Equal(w *View) bool {
+	if v.ver != w.ver || len(v.members) != len(w.members) {
+		return false
+	}
+	for i := range v.members {
+		if v.members[i] != w.members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameMembers reports membership equality ignoring version numbers.
+func (v *View) SameMembers(w *View) bool {
+	if len(v.members) != len(w.members) {
+		return false
+	}
+	for i := range v.members {
+		if v.members[i] != w.members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the view as "v3⟨p1 p2 p4⟩".
+func (v *View) String() string {
+	parts := make([]string, len(v.members))
+	for i, m := range v.members {
+		parts[i] = m.String()
+	}
+	return fmt.Sprintf("v%d⟨%s⟩", v.ver, strings.Join(parts, " "))
+}
+
+// Majority returns ⌊n/2⌋ + 1, the cardinality µ(S) of a majority subset of
+// an n-element set (§7).
+func Majority(n int) int { return n/2 + 1 }
+
+// MajoritiesIntersect reports whether majority subsets of two sets of the
+// given sizes must intersect when the larger contains the smaller plus one
+// element. Prop. 7.1 proves µ(S) + µ(S′) > |S′| whenever |S′| = |S|+1,
+// which is the fact that makes one-process-at-a-time view changes safe.
+func MajoritiesIntersect(small, large int) bool {
+	return Majority(small)+Majority(large) > large
+}

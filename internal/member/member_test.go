@@ -1,0 +1,388 @@
+package member
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"procgroup/internal/ids"
+)
+
+func view(names ...string) *View {
+	procs := make([]ids.ProcID, len(names))
+	for i, n := range names {
+		procs[i] = ids.Named(n)
+	}
+	return NewView(procs)
+}
+
+func TestRankSemantics(t *testing.T) {
+	v := view("p1", "p2", "p3", "p4")
+	// rank(Mgr) = |view|, lowest-ranked member has rank 1 (§4.2).
+	if got := v.Rank(ids.Named("p1")); got != 4 {
+		t.Errorf("rank(p1) = %d, want 4", got)
+	}
+	if got := v.Rank(ids.Named("p4")); got != 1 {
+		t.Errorf("rank(p4) = %d, want 1", got)
+	}
+	if got := v.Rank(ids.Named("px")); got != 0 {
+		t.Errorf("rank of non-member = %d, want 0 (undefined)", got)
+	}
+	if v.Mgr() != ids.Named("p1") {
+		t.Errorf("Mgr = %v, want p1", v.Mgr())
+	}
+}
+
+func TestRemovePromotesLowerSeniorities(t *testing.T) {
+	// §4.2's rank invariants: rank(Mgr) = |view|, the lowest-ranked member
+	// has rank 1, and removal moves every process that was below the
+	// removed one up one seniority position (its distance from the top
+	// shrinks by one) while preserving relative order.
+	v := view("p1", "p2", "p3", "p4")
+	distFromTop := func(p ids.ProcID) int { return v.Size() - v.Rank(p) }
+	d3, d4 := distFromTop(ids.Named("p3")), distFromTop(ids.Named("p4"))
+	if err := v.Apply(Remove(ids.Named("p2"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := distFromTop(ids.Named("p3")); got != d3-1 {
+		t.Errorf("p3 distance from top = %d, want %d", got, d3-1)
+	}
+	if got := distFromTop(ids.Named("p4")); got != d4-1 {
+		t.Errorf("p4 distance from top = %d, want %d", got, d4-1)
+	}
+	// rank(Mgr) tracks the shrunken view size.
+	if got := v.Rank(v.Mgr()); got != v.Size() {
+		t.Errorf("rank(Mgr) = %d, want |view| = %d", got, v.Size())
+	}
+	if got := v.Rank(ids.Named("p4")); got != 1 {
+		t.Errorf("rank(lowest) = %d, want 1", got)
+	}
+	if v.Version() != 1 {
+		t.Errorf("Version = %d, want 1", v.Version())
+	}
+}
+
+func TestRemoveMgrPromotesNext(t *testing.T) {
+	v := view("p1", "p2", "p3")
+	if err := v.Apply(Remove(ids.Named("p1"))); err != nil {
+		t.Fatal(err)
+	}
+	if v.Mgr() != ids.Named("p2") {
+		t.Errorf("Mgr after removing p1 = %v, want p2", v.Mgr())
+	}
+}
+
+func TestAddAppendsAtLowestSeniority(t *testing.T) {
+	v := view("p1", "p2")
+	if err := v.Apply(Add(ids.Named("p9"))); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Rank(ids.Named("p9")); got != 1 {
+		t.Errorf("rank(joiner) = %d, want 1", got)
+	}
+	if v.Mgr() != ids.Named("p1") {
+		t.Errorf("Mgr changed on join: %v", v.Mgr())
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	v := view("p1", "p2")
+	if err := v.Apply(Remove(ids.Named("px"))); !errors.Is(err, ErrNotMember) {
+		t.Errorf("remove non-member: err = %v, want ErrNotMember", err)
+	}
+	if err := v.Apply(Add(ids.Named("p1"))); !errors.Is(err, ErrAlreadyMember) {
+		t.Errorf("add member: err = %v, want ErrAlreadyMember", err)
+	}
+	if err := v.Apply(NilOp); !errors.Is(err, ErrNilTarget) {
+		t.Errorf("apply nil op: err = %v, want ErrNilTarget", err)
+	}
+	if v.Version() != 0 {
+		t.Errorf("failed ops must not bump version; Version = %d", v.Version())
+	}
+}
+
+func TestHigherRanked(t *testing.T) {
+	v := view("p1", "p2", "p3", "p4")
+	got := v.HigherRanked(ids.Named("p3"))
+	want := []ids.ProcID{ids.Named("p1"), ids.Named("p2")}
+	if len(got) != len(want) {
+		t.Fatalf("HigherRanked(p3) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HigherRanked(p3)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if hr := v.HigherRanked(ids.Named("p1")); len(hr) != 0 {
+		t.Errorf("HigherRanked(Mgr) = %v, want empty", hr)
+	}
+}
+
+func TestRelativeRankStableAcrossChanges(t *testing.T) {
+	// §4.2: while p and q are in the same system views, their relative
+	// ranking never changes. Exercise across a random op schedule.
+	v := view("p1", "p2", "p3", "p4", "p5", "p6")
+	rng := rand.New(rand.NewSource(7))
+	joinN := 0
+	for step := 0; step < 100; step++ {
+		m := v.Members()
+		// Check pairwise order consistency with seniority list.
+		for i := 0; i < len(m); i++ {
+			for j := i + 1; j < len(m); j++ {
+				if v.Rank(m[i]) <= v.Rank(m[j]) {
+					t.Fatalf("seniority order violated: rank(%v)=%d <= rank(%v)=%d",
+						m[i], v.Rank(m[i]), m[j], v.Rank(m[j]))
+				}
+			}
+		}
+		if v.Size() > 2 && rng.Intn(2) == 0 {
+			victim := m[1+rng.Intn(len(m)-1)]
+			if err := v.Apply(Remove(victim)); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			joinN++
+			if err := v.Apply(Add(ids.ProcID{Site: "j", Incarnation: uint32(joinN)})); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSeqMinus(t *testing.T) {
+	a, b := ids.Named("a"), ids.Named("b")
+	s := Seq{Remove(a), Remove(b)}
+	tail, err := s.Minus(Seq{Remove(a)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tail.Equal(Seq{Remove(b)}) {
+		t.Errorf("Minus = %v", tail)
+	}
+	if _, err := s.Minus(Seq{Remove(b)}); err == nil {
+		t.Error("Minus with non-prefix should fail")
+	}
+	if !(Seq{}).IsPrefixOf(s) {
+		t.Error("empty seq must prefix everything")
+	}
+}
+
+func TestSeqCloneIndependent(t *testing.T) {
+	s := Seq{Remove(ids.Named("a"))}
+	c := s.Clone()
+	c[0] = Remove(ids.Named("b"))
+	if s[0] != Remove(ids.Named("a")) {
+		t.Error("clone aliased original")
+	}
+	if Seq(nil).Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+}
+
+func TestNextMaxVer(t *testing.T) {
+	n := Next{
+		{Op: Remove(ids.Named("a")), Coord: ids.Named("m"), Ver: 3},
+		WildcardFor(ids.Named("r")),
+		{Op: Remove(ids.Named("b")), Coord: ids.Named("r"), Ver: 5},
+	}
+	if got := n.MaxVer(); got != 5 {
+		t.Errorf("MaxVer = %d, want 5", got)
+	}
+	if got := (Next{WildcardFor(ids.Named("r"))}).MaxVer(); got != -1 {
+		t.Errorf("MaxVer of all-wildcard = %d, want -1", got)
+	}
+}
+
+func TestMajorityFacts(t *testing.T) {
+	// Fact 7.1: |S| even ⇒ 2µ(S) = |S| + 2.
+	// Fact 7.2: |S| odd  ⇒ 2µ(S) = |S| + 1.
+	for n := 1; n <= 200; n++ {
+		mu := Majority(n)
+		if n%2 == 0 && 2*mu != n+2 {
+			t.Errorf("Fact 7.1 fails at n=%d: 2µ=%d", n, 2*mu)
+		}
+		if n%2 == 1 && 2*mu != n+1 {
+			t.Errorf("Fact 7.2 fails at n=%d: 2µ=%d", n, 2*mu)
+		}
+	}
+}
+
+func TestProposition71MajoritiesIntersect(t *testing.T) {
+	// Prop. 7.1: |S′| = |S|+1 ⇒ µ(S) + µ(S′) > |S′|. This is the law that
+	// makes one-at-a-time view changes safe.
+	for n := 1; n <= 500; n++ {
+		if !MajoritiesIntersect(n, n+1) {
+			t.Errorf("Prop 7.1 fails at |S|=%d", n)
+		}
+	}
+}
+
+func TestMajoritiesIntersectQuick(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%1000) + 1
+		return MajoritiesIntersect(n, n+1) && MajoritiesIntersect(n, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewEqualAndClone(t *testing.T) {
+	v := view("p1", "p2", "p3")
+	c := v.Clone()
+	if !v.Equal(c) {
+		t.Fatal("clone not Equal")
+	}
+	if err := c.Apply(Remove(ids.Named("p3"))); err != nil {
+		t.Fatal(err)
+	}
+	if v.Equal(c) {
+		t.Error("Equal after divergence")
+	}
+	if v.Size() != 3 {
+		t.Error("mutating clone affected original")
+	}
+	// SameMembers ignores version.
+	d := view("p1", "p2", "p3")
+	if err := d.Apply(Remove(ids.Named("p3"))); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(Add(ids.Named("p3"))); err != nil {
+		t.Fatal(err)
+	}
+	if d.Equal(v) {
+		t.Error("versions differ; Equal must be false")
+	}
+	if !d.SameMembers(v) {
+		t.Error("SameMembers should hold")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	v := view("p1", "p2", "p3")
+	ops := Seq{Remove(ids.Named("p3")), Add(ids.Named("p4"))}
+	if err := v.ApplyAll(ops); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version() != 2 || !v.Has(ids.Named("p4")) || v.Has(ids.Named("p3")) {
+		t.Errorf("unexpected view %v", v)
+	}
+	if err := v.ApplyAll(Seq{Remove(ids.Named("zz"))}); err == nil {
+		t.Error("ApplyAll should surface op errors")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	v := view("p1", "p2")
+	if v.String() != "v0⟨p1 p2⟩" {
+		t.Errorf("View.String = %q", v.String())
+	}
+	if Remove(ids.Named("p2")).String() != "remove(p2)" {
+		t.Errorf("Op.String = %q", Remove(ids.Named("p2")).String())
+	}
+	if NilOp.String() != "nil-id" {
+		t.Errorf("NilOp.String = %q", NilOp.String())
+	}
+	tr := Triple{Op: Add(ids.Named("p9")), Coord: ids.Named("p1"), Ver: 7}
+	if tr.String() != "(add(p9) : p1 : 7)" {
+		t.Errorf("Triple.String = %q", tr.String())
+	}
+	if WildcardFor(ids.Named("r")).String() != "(? : r : ?)" {
+		t.Errorf("wildcard String = %q", WildcardFor(ids.Named("r")).String())
+	}
+}
+
+func TestSeqReplayReconstructsView(t *testing.T) {
+	// Property: replaying seq(p) over the initial view always reproduces
+	// Memb(p) — the invariant Theorem 5.1 leans on when Phase-I responses
+	// carry sequences instead of views.
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		initial := []ids.ProcID{ids.Named("p1"), ids.Named("p2"), ids.Named("p3"), ids.Named("p4")}
+		v := NewView(initial)
+		var seq Seq
+		join := 0
+		for s := 0; s < int(steps%48); s++ {
+			var op Op
+			if v.Size() > 1 && rng.Intn(2) == 0 {
+				m := v.Members()
+				op = Remove(m[rng.Intn(len(m))])
+			} else {
+				join++
+				op = Add(ids.ProcID{Site: "r", Incarnation: uint32(join)})
+			}
+			if v.Apply(op) != nil {
+				continue
+			}
+			seq = append(seq, op)
+		}
+		replay := NewView(initial)
+		if replay.ApplyAll(seq) != nil {
+			return false
+		}
+		return replay.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqPrefixLaws(t *testing.T) {
+	// Property: for random sequences, s.Minus(prefix) re-concatenates to
+	// s, and IsPrefixOf is a partial order compatible with length.
+	f := func(seed int64, cut uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Seq
+		for i := 0; i < 20; i++ {
+			s = append(s, Remove(ids.ProcID{Site: "x", Incarnation: uint32(rng.Intn(1000))}))
+		}
+		k := int(cut) % (len(s) + 1)
+		prefix := s[:k].Clone()
+		if !prefix.IsPrefixOf(s) {
+			return false
+		}
+		tail, err := s.Minus(prefix)
+		if err != nil {
+			return false
+		}
+		whole := append(prefix.Clone(), tail...)
+		return whole.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViewApplyQuickNeverCorrupts(t *testing.T) {
+	// Property: after any sequence of valid ops, the index map and the
+	// member slice agree and version equals the op count.
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := view("p1", "p2", "p3", "p4")
+		applied := 0
+		join := 0
+		for s := 0; s < int(steps%64); s++ {
+			if v.Size() > 1 && rng.Intn(2) == 0 {
+				m := v.Members()
+				if v.Apply(Remove(m[rng.Intn(len(m))])) == nil {
+					applied++
+				}
+			} else {
+				join++
+				if v.Apply(Add(ids.ProcID{Site: "q", Incarnation: uint32(join)})) == nil {
+					applied++
+				}
+			}
+			for i, m := range v.Members() {
+				if v.Rank(m) != v.Size()-i {
+					return false
+				}
+			}
+		}
+		return int(v.Version()) == applied
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

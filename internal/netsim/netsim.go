@@ -1,0 +1,253 @@
+// Package netsim simulates the paper's communication substrate: a complete
+// network of reliable (lossless, non-generating) FIFO channels with
+// unbounded — here: arbitrary, seeded — delivery delays (§2.1). It adds the
+// failure-injection machinery the evaluation needs: whole-process crashes,
+// crashes in the middle of a broadcast (Figure 3's interrupted commit), and
+// message interceptors for building adversarial schedules.
+package netsim
+
+import (
+	"fmt"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/sim"
+	"procgroup/internal/trace"
+)
+
+// crashKind is the event recorded for environment-injected crashes.
+const crashKind = event.Crash
+
+// Labeled is implemented by payloads that name their message kind; the
+// recorder uses the label for per-kind counting. Unlabeled payloads are
+// counted under "%T".
+type Labeled interface {
+	MsgLabel() string
+}
+
+// Message is an in-flight datagram.
+type Message struct {
+	ID      int64
+	From    ids.ProcID
+	To      ids.ProcID
+	Payload any
+}
+
+// Label returns the payload's message-kind label.
+func (m Message) Label() string {
+	if l, ok := m.Payload.(Labeled); ok {
+		return l.MsgLabel()
+	}
+	return fmt.Sprintf("%T", m.Payload)
+}
+
+// Verdict is an interceptor's decision about a message.
+type Verdict int
+
+// Interceptor outcomes.
+const (
+	// Pass lets the message proceed normally.
+	Pass Verdict = iota + 1
+	// Drop silently discards the message (it still counts as sent).
+	Drop
+)
+
+// Interceptor inspects every message at send time. Interceptors implement
+// adversarial schedules: partitions, targeted drops, crash-after-k-sends.
+type Interceptor func(Message) Verdict
+
+// Handler receives delivered messages.
+type Handler func(from ids.ProcID, payload any)
+
+// DelayFn samples a delivery delay for a channel.
+type DelayFn func(rng interface{ Int63n(int64) int64 }, from, to ids.ProcID) sim.Time
+
+// ConstDelay returns a fixed-delay function.
+func ConstDelay(d sim.Time) DelayFn {
+	return func(_ interface{ Int63n(int64) int64 }, _, _ ids.ProcID) sim.Time { return d }
+}
+
+// UniformDelay returns delays uniform in [min, max].
+func UniformDelay(min, max sim.Time) DelayFn {
+	if max < min {
+		min, max = max, min
+	}
+	return func(rng interface{ Int63n(int64) int64 }, _, _ ids.ProcID) sim.Time {
+		return min + sim.Time(rng.Int63n(int64(max-min+1)))
+	}
+}
+
+type endpoint struct {
+	handler Handler
+	alive   bool
+}
+
+type chanKey struct{ from, to ids.ProcID }
+
+// Network is the simulated interconnect. All methods must be called from
+// scheduler callbacks (single-threaded).
+type Network struct {
+	sched        *sim.Scheduler
+	delay        DelayFn
+	rec          *trace.Recorder
+	eps          map[ids.ProcID]*endpoint
+	lastDeliver  map[chanKey]sim.Time
+	interceptors []Interceptor
+	onCrash      []func(ids.ProcID)
+	nextID       int64
+}
+
+// New builds a network over the scheduler. rec may be nil (no recording).
+func New(sched *sim.Scheduler, delay DelayFn, rec *trace.Recorder) *Network {
+	if delay == nil {
+		delay = UniformDelay(1, 10)
+	}
+	return &Network{
+		sched:       sched,
+		delay:       delay,
+		rec:         rec,
+		eps:         make(map[ids.ProcID]*endpoint),
+		lastDeliver: make(map[chanKey]sim.Time),
+	}
+}
+
+// Register attaches a process's message handler and records its start
+// event. Re-registering an id panics: a recovered process must come back
+// under a fresh incarnation (§1).
+func (n *Network) Register(p ids.ProcID, h Handler) {
+	if _, dup := n.eps[p]; dup {
+		panic(fmt.Sprintf("netsim: duplicate registration of %v (recoveries need new incarnations)", p))
+	}
+	n.eps[p] = &endpoint{handler: h, alive: true}
+	if n.rec != nil {
+		n.rec.RecordStart(p)
+	}
+}
+
+// Alive reports whether p is registered and not crashed.
+func (n *Network) Alive(p ids.ProcID) bool {
+	ep, ok := n.eps[p]
+	return ok && ep.alive
+}
+
+// AddInterceptor appends a send-time interceptor.
+func (n *Network) AddInterceptor(f Interceptor) { n.interceptors = append(n.interceptors, f) }
+
+// OnCrash registers a callback invoked whenever a process crashes (the
+// failure-detection oracle subscribes here).
+func (n *Network) OnCrash(f func(ids.ProcID)) { n.onCrash = append(n.onCrash, f) }
+
+// Crash kills p: no further sends from it, and messages still in flight to
+// it are discarded at delivery time. Crashing is idempotent.
+func (n *Network) Crash(p ids.ProcID) {
+	ep, ok := n.eps[p]
+	if !ok || !ep.alive {
+		return
+	}
+	ep.alive = false
+	if n.rec != nil {
+		n.rec.RecordInternal(p, crashKind, ids.Nil)
+	}
+	for _, f := range n.onCrash {
+		f(p)
+	}
+}
+
+// Send transmits payload from → to over the reliable FIFO channel. Sends
+// from crashed processes are ignored (the process no longer executes);
+// sends to unknown or crashed destinations are recorded as sent and then
+// lost, like a datagram to a dead host. Send returns true if the message
+// was actually put in flight.
+func (n *Network) Send(from, to ids.ProcID, payload any) bool {
+	src, ok := n.eps[from]
+	if !ok || !src.alive {
+		return false
+	}
+	n.nextID++
+	m := Message{ID: n.nextID, From: from, To: to, Payload: payload}
+	if n.rec != nil {
+		n.rec.RecordSend(from, to, m.ID, m.Label())
+	}
+	for _, f := range n.interceptors {
+		if f(m) == Drop {
+			return false
+		}
+	}
+	// FIFO: per-channel delivery times are forced monotone, so a sampled
+	// delay can never overtake an earlier message on the same channel.
+	key := chanKey{from: from, to: to}
+	at := n.sched.Now() + n.delay(n.sched.Rand(), from, to)
+	if last := n.lastDeliver[key]; at <= last {
+		at = last + 1
+	}
+	n.lastDeliver[key] = at
+	n.sched.At(at, func() { n.deliver(m) })
+	return true
+}
+
+func (n *Network) deliver(m Message) {
+	dst, ok := n.eps[m.To]
+	if !ok || !dst.alive {
+		return // lost to a crash — channels are reliable, endpoints are not
+	}
+	if n.rec != nil {
+		n.rec.RecordRecv(m.From, m.To, m.ID, m.Label())
+	}
+	dst.handler(m.From, m.Payload)
+}
+
+// Bcast sends payload to each destination in order. It mirrors the paper's
+// Bcast(p, G, m): indivisible at the sender (no interleaved events) but not
+// failure-atomic — a crash interceptor can kill the sender mid-loop,
+// truncating the broadcast.
+func (n *Network) Bcast(from ids.ProcID, dests []ids.ProcID, payload any) int {
+	sent := 0
+	for _, d := range dests {
+		if d == from {
+			continue
+		}
+		if n.Send(from, d, payload) {
+			sent++
+		}
+	}
+	return sent
+}
+
+// CrashAfterSends installs an interceptor that lets p send k more messages
+// matching the label filter (empty filter = any message) and then crashes p
+// the moment it attempts the (k+1)-th. This reproduces Figure 3: a
+// coordinator dying partway through a commit broadcast.
+func (n *Network) CrashAfterSends(p ids.ProcID, k int, label string) {
+	remaining := k
+	n.AddInterceptor(func(m Message) Verdict {
+		if m.From != p || !n.Alive(p) {
+			return Pass
+		}
+		if label != "" && m.Label() != label {
+			return Pass
+		}
+		if remaining > 0 {
+			remaining--
+			return Pass
+		}
+		n.Crash(p)
+		return Drop
+	})
+}
+
+// PartitionBetween installs an interceptor that drops every message between
+// the two groups (both directions). It returns a heal function.
+func (n *Network) PartitionBetween(a, b []ids.ProcID) (heal func()) {
+	inA, inB := ids.NewSet(a...), ids.NewSet(b...)
+	active := true
+	n.AddInterceptor(func(m Message) Verdict {
+		if !active {
+			return Pass
+		}
+		if (inA.Has(m.From) && inB.Has(m.To)) || (inB.Has(m.From) && inA.Has(m.To)) {
+			return Drop
+		}
+		return Pass
+	})
+	return func() { active = false }
+}

@@ -1,0 +1,240 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/sim"
+	"procgroup/internal/trace"
+)
+
+type ping struct{ n int }
+
+func (ping) MsgLabel() string { return "Ping" }
+
+func newNet(seed int64, delay DelayFn) (*sim.Scheduler, *Network, *trace.Recorder) {
+	s := sim.NewScheduler(seed)
+	rec := trace.NewRecorder(func() int64 { return int64(s.Now()) })
+	return s, New(s, delay, rec), rec
+}
+
+func TestFIFOPerChannel(t *testing.T) {
+	// Even with wildly random delays, per-channel order must hold (§2.1:
+	// channels are FIFO).
+	f := func(seed int64) bool {
+		s, n, _ := newNet(seed, UniformDelay(1, 100))
+		a, b := ids.Named("a"), ids.Named("b")
+		var got []int
+		n.Register(a, func(ids.ProcID, any) {})
+		n.Register(b, func(_ ids.ProcID, p any) { got = append(got, p.(ping).n) })
+		s.At(0, func() {
+			for i := 0; i < 50; i++ {
+				n.Send(a, b, ping{n: i})
+			}
+		})
+		s.Run()
+		if len(got) != 50 {
+			return false
+		}
+		for i := range got {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossChannelMayReorderButLossless(t *testing.T) {
+	s, n, _ := newNet(3, UniformDelay(1, 50))
+	a, b, c := ids.Named("a"), ids.Named("b"), ids.Named("c")
+	recv := 0
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	n.Register(c, func(ids.ProcID, any) { recv++ })
+	s.At(0, func() {
+		for i := 0; i < 20; i++ {
+			n.Send(a, c, ping{n: i})
+			n.Send(b, c, ping{n: i})
+		}
+	})
+	s.Run()
+	if recv != 40 {
+		t.Errorf("received %d, want 40 (channels are lossless)", recv)
+	}
+}
+
+func TestCrashStopsSendsAndDelivery(t *testing.T) {
+	s, n, rec := newNet(1, ConstDelay(5))
+	a, b := ids.Named("a"), ids.Named("b")
+	got := 0
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) { got++ })
+	s.At(0, func() { n.Send(a, b, ping{}) }) // in flight before crash: lost at delivery
+	s.At(1, func() { n.Crash(b) })
+	s.At(2, func() {
+		if n.Send(b, a, ping{}) {
+			t.Error("crashed process managed to send")
+		}
+	})
+	s.Run()
+	if got != 0 {
+		t.Errorf("crashed process received %d messages", got)
+	}
+	if n.Alive(b) {
+		t.Error("b still alive")
+	}
+	// The send was still recorded (it left a, counts toward complexity).
+	if rec.MessagesSent("Ping") != 1 {
+		t.Errorf("sent count = %d, want 1", rec.MessagesSent("Ping"))
+	}
+}
+
+func TestCrashNotification(t *testing.T) {
+	s, n, _ := newNet(1, nil)
+	a := ids.Named("a")
+	var crashed []ids.ProcID
+	n.OnCrash(func(p ids.ProcID) { crashed = append(crashed, p) })
+	n.Register(a, func(ids.ProcID, any) {})
+	s.At(0, func() { n.Crash(a); n.Crash(a) }) // idempotent
+	s.Run()
+	if len(crashed) != 1 || crashed[0] != a {
+		t.Errorf("crash notifications = %v", crashed)
+	}
+}
+
+func TestBcastSkipsSelfAndCountsSends(t *testing.T) {
+	s, n, rec := newNet(1, ConstDelay(1))
+	procs := ids.Gen(4)
+	for _, p := range procs {
+		n.Register(p, func(ids.ProcID, any) {})
+	}
+	s.At(0, func() {
+		if sent := n.Bcast(procs[0], procs, ping{}); sent != 3 {
+			t.Errorf("Bcast sent %d, want 3", sent)
+		}
+	})
+	s.Run()
+	if rec.MessagesSent() != 3 {
+		t.Errorf("recorded %d sends", rec.MessagesSent())
+	}
+}
+
+func TestCrashAfterSendsTruncatesBroadcast(t *testing.T) {
+	// Figure 3: the coordinator dies after reaching only k destinations.
+	s, n, _ := newNet(1, ConstDelay(1))
+	procs := ids.Gen(5)
+	got := map[ids.ProcID]int{}
+	for _, p := range procs {
+		p := p
+		n.Register(p, func(ids.ProcID, any) { got[p]++ })
+	}
+	n.CrashAfterSends(procs[0], 2, "Ping")
+	s.At(0, func() { n.Bcast(procs[0], procs, ping{}) })
+	s.Run()
+	delivered := 0
+	for _, c := range got {
+		delivered += c
+	}
+	if delivered != 2 {
+		t.Errorf("delivered %d, want exactly 2 (truncated broadcast)", delivered)
+	}
+	if n.Alive(procs[0]) {
+		t.Error("sender should have crashed mid-broadcast")
+	}
+	// Deterministic destination order ⇒ exactly p2 and p3 got it.
+	if got[procs[1]] != 1 || got[procs[2]] != 1 {
+		t.Errorf("wrong recipients: %v", got)
+	}
+}
+
+func TestCrashAfterSendsLabelFilter(t *testing.T) {
+	s, n, _ := newNet(1, ConstDelay(1))
+	a, b := ids.Named("a"), ids.Named("b")
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	n.CrashAfterSends(a, 0, "Other") // only "Other" messages are fatal
+	s.At(0, func() {
+		if !n.Send(a, b, ping{}) {
+			t.Error("unrelated label should pass")
+		}
+	})
+	s.Run()
+	if !n.Alive(a) {
+		t.Error("a crashed on a non-matching label")
+	}
+}
+
+func TestPartitionDropsAndHeals(t *testing.T) {
+	s, n, _ := newNet(1, ConstDelay(1))
+	a, b := ids.Named("a"), ids.Named("b")
+	got := 0
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) { got++ })
+	heal := n.PartitionBetween([]ids.ProcID{a}, []ids.ProcID{b})
+	s.At(0, func() { n.Send(a, b, ping{}) })
+	s.At(5, func() { heal(); n.Send(a, b, ping{}) })
+	s.Run()
+	if got != 1 {
+		t.Errorf("delivered %d, want 1 (one dropped, one after heal)", got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	_, n, _ := newNet(1, nil)
+	a := ids.Named("a")
+	n.Register(a, func(ids.ProcID, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register must panic")
+		}
+	}()
+	n.Register(a, func(ids.ProcID, any) {})
+}
+
+func TestSendRecvRecordedWithCausality(t *testing.T) {
+	s, n, rec := newNet(1, ConstDelay(3))
+	a, b := ids.Named("a"), ids.Named("b")
+	n.Register(a, func(ids.ProcID, any) {})
+	n.Register(b, func(ids.ProcID, any) {})
+	s.At(0, func() { n.Send(a, b, ping{}) })
+	s.Run()
+	evs := rec.Events()
+	var send, recv *event.Event
+	for i := range evs {
+		switch evs[i].Kind {
+		case event.Send:
+			send = &evs[i]
+		case event.Recv:
+			recv = &evs[i]
+		}
+	}
+	if send == nil || recv == nil {
+		t.Fatalf("missing send/recv in %v", evs)
+	}
+	if !send.Clock.HappensBefore(recv.Clock) {
+		t.Errorf("send %v must happen-before recv %v", send.Clock, recv.Clock)
+	}
+	if recv.Time != 3 {
+		t.Errorf("recv time = %d, want 3", recv.Time)
+	}
+	if send.MsgID != recv.MsgID {
+		t.Error("send/recv MsgID mismatch")
+	}
+}
+
+func TestUniformDelayBounds(t *testing.T) {
+	s := sim.NewScheduler(9)
+	d := UniformDelay(5, 2) // reversed bounds are normalized
+	for i := 0; i < 100; i++ {
+		v := d(s.Rand(), ids.Named("a"), ids.Named("b"))
+		if v < 2 || v > 5 {
+			t.Fatalf("delay %d out of [2,5]", v)
+		}
+	}
+}

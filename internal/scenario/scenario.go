@@ -1,0 +1,249 @@
+// Package scenario wires protocol nodes to the simulated substrate and
+// provides the declarative failure schedules the evaluation runs: crashes,
+// crashes in mid-broadcast, spurious suspicions, joins. Tests, benchmarks
+// and the cmd tools all build runs through this harness.
+package scenario
+
+import (
+	"fmt"
+
+	"procgroup/internal/check"
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/fd"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/netsim"
+	"procgroup/internal/sim"
+	"procgroup/internal/trace"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// N is the initial group size (ignored if Procs is set).
+	N int
+	// Procs overrides the generated initial membership.
+	Procs []ids.ProcID
+	// Seed drives all randomness (delays, oracle latency).
+	Seed int64
+	// Config is the protocol configuration shared by every node.
+	Config core.Config
+	// Delay is the network delay distribution (default uniform 1..10).
+	Delay netsim.DelayFn
+	// DetectDelay is the oracle's crash-detection latency
+	// (default uniform 5..20).
+	DetectDelay netsim.DelayFn
+	// MuteOracle disables automatic crash→suspicion propagation;
+	// adversarial scenarios inject every suspicion by hand.
+	MuteOracle bool
+}
+
+// Cluster is a group of protocol nodes on the simulated substrate.
+type Cluster struct {
+	Sched  *sim.Scheduler
+	Net    *netsim.Network
+	Oracle *fd.Oracle
+	Rec    *trace.Recorder
+
+	cfg     core.Config
+	initial []ids.ProcID
+	nodes   map[ids.ProcID]*core.Node
+}
+
+// New builds a bootstrapped cluster.
+func New(opts Options) *Cluster {
+	procs := opts.Procs
+	if procs == nil {
+		procs = ids.Gen(opts.N)
+	}
+	sched := sim.NewScheduler(opts.Seed)
+	rec := trace.NewRecorder(func() int64 { return int64(sched.Now()) })
+	net := netsim.New(sched, opts.Delay, rec)
+	oracle := fd.NewOracle(sched, net, opts.DetectDelay)
+	if opts.MuteOracle {
+		oracle.Mute()
+	}
+	c := &Cluster{
+		Sched:   sched,
+		Net:     net,
+		Oracle:  oracle,
+		Rec:     rec,
+		cfg:     opts.Config,
+		initial: procs,
+		nodes:   make(map[ids.ProcID]*core.Node, len(procs)),
+	}
+	for _, p := range procs {
+		c.spawn(p)
+	}
+	for _, p := range procs {
+		c.nodes[p].Bootstrap(procs)
+	}
+	return c
+}
+
+func (c *Cluster) spawn(p ids.ProcID) *core.Node {
+	n := core.New(p, &env{c: c, id: p}, c.cfg)
+	c.nodes[p] = n
+	c.Net.Register(p, n.Deliver)
+	c.Oracle.Register(p, n.Suspect)
+	return n
+}
+
+// env adapts the simulated substrate to core.Env.
+type env struct {
+	c  *Cluster
+	id ids.ProcID
+}
+
+func (e *env) Send(to ids.ProcID, payload any) { e.c.Net.Send(e.id, to, payload) }
+
+func (e *env) After(d int64, fn func()) (cancel func()) {
+	cancelled := false
+	e.c.Sched.After(sim.Time(d), func() {
+		if !cancelled {
+			fn()
+		}
+	})
+	return func() { cancelled = true }
+}
+
+func (e *env) Quit() { e.c.Net.Crash(e.id) }
+
+func (e *env) Record(k event.Kind, other ids.ProcID) {
+	e.c.Rec.RecordInternal(e.id, k, other)
+}
+
+func (e *env) RecordInstall(ver member.Version, members []ids.ProcID) {
+	e.c.Rec.RecordInstall(e.id, ver, members)
+}
+
+// --- Schedule builders -----------------------------------------------------
+
+// Node returns the node for p.
+func (c *Cluster) Node(p ids.ProcID) *core.Node {
+	n, ok := c.nodes[p]
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown process %v", p))
+	}
+	return n
+}
+
+// Initial returns the bootstrap membership.
+func (c *Cluster) Initial() []ids.ProcID {
+	out := make([]ids.ProcID, len(c.initial))
+	copy(out, c.initial)
+	return out
+}
+
+// CrashAt schedules a hard crash of p at time t.
+func (c *Cluster) CrashAt(p ids.ProcID, t sim.Time) {
+	c.Sched.At(t, func() { c.Net.Crash(p) })
+}
+
+// CrashDuringBroadcast lets p send k more messages of the given label and
+// then kills it mid-broadcast (Figure 3's interrupted commit).
+func (c *Cluster) CrashDuringBroadcast(p ids.ProcID, k int, label string) {
+	c.Net.CrashAfterSends(p, k, label)
+}
+
+// SuspectAt injects faulty_p(q) at time t (spurious if q is alive).
+func (c *Cluster) SuspectAt(p, q ids.ProcID, t sim.Time) {
+	c.Oracle.Inject(p, q, t)
+}
+
+// JoinAt spawns a fresh process that asks contact to sponsor it at time t.
+func (c *Cluster) JoinAt(joiner, contact ids.ProcID, t sim.Time) *core.Node {
+	n := c.spawn(joiner)
+	c.Sched.At(t, func() { n.StartJoin(contact) })
+	return n
+}
+
+// Run drains the schedule to quiescence and returns the step count.
+func (c *Cluster) Run() int64 { return c.Sched.Run() }
+
+// RunUntil advances virtual time to t.
+func (c *Cluster) RunUntil(t sim.Time) { c.Sched.RunUntil(t) }
+
+// --- Result extraction ------------------------------------------------------
+
+// Alive reports whether p is executing: not crashed by the environment and
+// not halted by the protocol (quit_p).
+func (c *Cluster) Alive(p ids.ProcID) bool {
+	n, ok := c.nodes[p]
+	return ok && n.Alive() && c.Net.Alive(p)
+}
+
+// AliveNodes returns the nodes still executing, deterministically ordered.
+func (c *Cluster) AliveNodes() []*core.Node {
+	var out []*core.Node
+	for _, p := range c.procsSorted() {
+		if c.Alive(p) {
+			out = append(out, c.nodes[p])
+		}
+	}
+	return out
+}
+
+// AliveMembers returns ids of nodes still executing and holding a view.
+func (c *Cluster) AliveMembers() []ids.ProcID {
+	var out []ids.ProcID
+	for _, p := range c.procsSorted() {
+		if c.Alive(p) && c.nodes[p].View() != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) procsSorted() []ids.ProcID {
+	s := ids.NewSet()
+	for p := range c.nodes {
+		s.Add(p)
+	}
+	return s.Sorted()
+}
+
+// Views returns p's installed view sequence.
+func (c *Cluster) Views(p ids.ProcID) []trace.ViewRecord { return c.Rec.ViewLog(p) }
+
+// StableView returns the view every live member agrees on, or an error if
+// the group has not converged.
+func (c *Cluster) StableView() (*member.View, error) {
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("scenario: no live members")
+	}
+	var ref *member.View
+	for _, n := range alive {
+		v := n.View()
+		if v == nil {
+			continue
+		}
+		if ref == nil {
+			ref = v
+			continue
+		}
+		if !ref.Equal(v) {
+			return nil, fmt.Errorf("scenario: views diverge: %v vs %v", ref, v)
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("scenario: no live member holds a view")
+	}
+	return ref, nil
+}
+
+// Messages sums the recorded sends for the given labels (all when empty).
+func (c *Cluster) Messages(labels ...string) int { return c.Rec.MessagesSent(labels...) }
+
+// CheckInput packages the finished run for the GMP property checker.
+func (c *Cluster) CheckInput() check.Input {
+	return check.Input{
+		Recorder: c.Rec,
+		Initial:  c.Initial(),
+		Alive:    c.Alive,
+	}
+}
+
+// Check runs the GMP property checker over the recorded run.
+func (c *Cluster) Check() *check.Report { return check.Run(c.CheckInput()) }

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"testing"
+
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+)
+
+func opts(n int, seed int64) Options {
+	return Options{N: n, Seed: seed, Config: core.DefaultConfig()}
+}
+
+func TestNewBootstrapsEveryNode(t *testing.T) {
+	c := New(opts(4, 1))
+	if got := len(c.Initial()); got != 4 {
+		t.Fatalf("Initial() has %d procs", got)
+	}
+	for _, p := range c.Initial() {
+		n := c.Node(p)
+		if n.View() == nil || n.View().Size() != 4 {
+			t.Errorf("%v not bootstrapped: %v", p, n.View())
+		}
+	}
+}
+
+func TestProcsOverride(t *testing.T) {
+	procs := []ids.ProcID{ids.Named("x"), ids.Named("y"), ids.Named("z")}
+	c := New(Options{Procs: procs, Seed: 1, Config: core.DefaultConfig()})
+	got := c.Initial()
+	for i := range procs {
+		if got[i] != procs[i] {
+			t.Fatalf("Initial = %v, want %v", got, procs)
+		}
+	}
+	if c.Node(procs[0]).View().Mgr() != ids.Named("x") {
+		t.Error("seniority order not taken from Procs")
+	}
+}
+
+func TestNodePanicsOnUnknown(t *testing.T) {
+	c := New(opts(3, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("Node on unknown id must panic")
+		}
+	}()
+	c.Node(ids.Named("nobody"))
+}
+
+func TestAliveTracksCrashAndQuit(t *testing.T) {
+	c := New(opts(4, 2))
+	procs := c.Initial()
+	c.CrashAt(procs[3], 10)
+	c.Run()
+	if c.Alive(procs[3]) {
+		t.Error("crashed process reported alive")
+	}
+	if !c.Alive(procs[0]) {
+		t.Error("live process reported dead")
+	}
+	if got := len(c.AliveNodes()); got != 3 {
+		t.Errorf("AliveNodes = %d, want 3", got)
+	}
+	if got := len(c.AliveMembers()); got != 3 {
+		t.Errorf("AliveMembers = %d, want 3", got)
+	}
+}
+
+func TestStableViewErrorsOnDivergence(t *testing.T) {
+	// Freeze progress by crashing everything; survivors hold v0 so the
+	// stable view is v0 — then kill all and expect an error.
+	c := New(opts(3, 3))
+	for _, p := range c.Initial() {
+		c.CrashAt(p, 10)
+	}
+	c.Run()
+	if _, err := c.StableView(); err == nil {
+		t.Error("StableView with no live members should fail")
+	}
+}
+
+func TestRunUntilPartialProgress(t *testing.T) {
+	c := New(opts(4, 4))
+	procs := c.Initial()
+	c.CrashAt(procs[3], 100)
+	c.RunUntil(50)
+	if got := c.Node(procs[0]).View().Version(); got != 0 {
+		t.Errorf("no change should have happened by t=50, at v%d", got)
+	}
+	c.Run()
+	v, err := c.StableView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Version() != 1 {
+		t.Errorf("final version %d, want 1", v.Version())
+	}
+}
+
+func TestCheckInputUsesClusterLiveness(t *testing.T) {
+	c := New(opts(4, 5))
+	procs := c.Initial()
+	c.CrashAt(procs[3], 10)
+	c.Run()
+	in := c.CheckInput()
+	if in.Alive(procs[3]) {
+		t.Error("CheckInput.Alive reports crashed process alive")
+	}
+	if !in.Alive(procs[0]) {
+		t.Error("CheckInput.Alive reports live process dead")
+	}
+	if len(in.Initial) != 4 {
+		t.Errorf("CheckInput.Initial = %v", in.Initial)
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim is a deterministic discrete-event scheduler: the substitute
+// substrate for the asynchronous environment of the paper (§2.1). Message
+// transmission times are unbounded in the model; here they are arbitrary
+// finite values drawn from a seeded generator, so every run is exactly
+// reproducible and the evaluation's message counts are exact. The protocol
+// never reads the clock to make decisions — virtual time exists only to
+// order deliveries and to drive the failure-detection substrate (the paper
+// likewise uses time "only as an (approximate) tool for detecting possible
+// crash failures", §2.2).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in abstract ticks.
+type Time int64
+
+// item is a scheduled callback. seq breaks ties deterministically so that
+// two events at the same instant run in scheduling order.
+type item struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Scheduler executes callbacks in virtual-time order. It is single-threaded:
+// all protocol code runs inside callbacks, which is what makes simulated
+// runs deterministic.
+type Scheduler struct {
+	now   Time
+	heap  itemHeap
+	seq   int64
+	rng   *rand.Rand
+	steps int64
+	limit int64
+}
+
+// defaultStepLimit guards against runaway schedules (livelock in a buggy
+// protocol would otherwise hang the test suite).
+const defaultStepLimit = 50_000_000
+
+// NewScheduler returns a scheduler whose randomness derives entirely from
+// seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		rng:   rand.New(rand.NewSource(seed)),
+		limit: defaultStepLimit,
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand exposes the seeded generator (delay sampling, scenario jitter).
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of callbacks executed so far.
+func (s *Scheduler) Steps() int64 { return s.steps }
+
+// SetStepLimit overrides the runaway guard.
+func (s *Scheduler) SetStepLimit(n int64) { s.limit = n }
+
+// At schedules fn at absolute time t. Scheduling in the past is clamped to
+// the present (the callback runs at Now, after already-queued callbacks for
+// that instant).
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, item{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d ticks from now.
+func (s *Scheduler) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the earliest pending callback. It reports false when the queue
+// is empty.
+func (s *Scheduler) Step() bool {
+	if len(s.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.heap).(item)
+	s.now = it.at
+	s.steps++
+	if s.steps > s.limit {
+		panic(fmt.Sprintf("sim: step limit %d exceeded (livelock?)", s.limit))
+	}
+	it.fn()
+	return true
+}
+
+// Run drains the queue and returns the number of callbacks executed.
+func (s *Scheduler) Run() int64 {
+	start := s.steps
+	for s.Step() {
+	}
+	return s.steps - start
+}
+
+// RunUntil executes callbacks with time ≤ t, then sets Now to t.
+func (s *Scheduler) RunUntil(t Time) {
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued callbacks.
+func (s *Scheduler) Pending() int { return len(s.heap) }

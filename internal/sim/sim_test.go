@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %d, want 30", s.Now())
+	}
+}
+
+func TestTieBreakIsSchedulingOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(7, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []Time
+	s.After(5, func() {
+		fired = append(fired, s.Now())
+		s.After(5, func() { fired = append(fired, s.Now()) })
+	})
+	s.Run()
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Errorf("fired = %v, want [5 10]", fired)
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	s := NewScheduler(1)
+	ran := false
+	s.At(10, func() {
+		s.At(3, func() { // in the past — must run "now", not travel back
+			if s.Now() != 10 {
+				t.Errorf("past callback ran at %d", s.Now())
+			}
+			ran = true
+		})
+	})
+	s.Run()
+	if !ran {
+		t.Error("past-scheduled callback never ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	var got []int
+	s.At(5, func() { got = append(got, 5) })
+	s.At(15, func() { got = append(got, 15) })
+	s.RunUntil(10)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("RunUntil(10) executed %v", got)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %d, want 10", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if len(got) != 2 {
+		t.Error("remaining event lost")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int64 {
+		s := NewScheduler(42)
+		var samples []int64
+		var step func()
+		step = func() {
+			samples = append(samples, s.Rand().Int63n(1000))
+			if len(samples) < 50 {
+				s.After(Time(1+s.Rand().Int63n(9)), step)
+			}
+		}
+		s.After(1, step)
+		s.Run()
+		return samples
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestStepLimitPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.SetStepLimit(100)
+	var loop func()
+	loop = func() { s.After(1, loop) }
+	s.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected step-limit panic")
+		}
+	}()
+	s.Run()
+}
+
+func TestStepsCount(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < 7; i++ {
+		s.After(Time(i), func() {})
+	}
+	if n := s.Run(); n != 7 {
+		t.Errorf("Run returned %d, want 7", n)
+	}
+	if s.Steps() != 7 {
+		t.Errorf("Steps = %d, want 7", s.Steps())
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	r := NewRecorder(nil)
+	a, b := ids.Named("a"), ids.ProcID{Site: "b", Incarnation: 2}
+	r.RecordStart(a)
+	r.RecordStart(b)
+	r.RecordInstall(a, 0, []ids.ProcID{a, b})
+	r.RecordSend(a, b, 7, "Commit")
+	r.RecordRecv(a, b, 7, "Commit")
+	r.RecordInternal(b, event.Faulty, a)
+	r.RecordDrop(a, b, 9, "OK")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := r.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Proc != w.Proc || g.Kind != w.Kind || g.Other != w.Other ||
+			g.MsgID != w.MsgID || g.Label != w.Label || g.Seq != w.Seq ||
+			g.Lamport != w.Lamport || g.Ver != w.Ver {
+			t.Errorf("event %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+		if !g.Clock.LessEq(w.Clock) || !w.Clock.LessEq(g.Clock) {
+			t.Errorf("event %d clock mismatch: %v vs %v", i, g.Clock, w.Clock)
+		}
+		if len(g.Members) != len(w.Members) {
+			t.Errorf("event %d members mismatch: %v vs %v", i, g.Members, w.Members)
+		}
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"no-such-kind","proc":"a"}`)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{nope`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if got, err := ReadJSONL(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Errorf("empty input should parse to empty run, got %v, %v", got, err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package trace records system runs: every send, receive, and internal
+// event of every process, stamped with Lamport and vector clocks. A
+// recorded run is the paper's n-tuple of process histories (§2.1); the
+// checker replays it to verify GMP-0..GMP-5 and the benchmark harness
+// reads its message counters to reproduce the §7.2 complexity analysis.
+package trace
+
+import (
+	"sync"
+
+	"procgroup/internal/causal"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// ViewRecord is one entry of a process's view-installation log.
+type ViewRecord struct {
+	Ver     member.Version
+	Members []ids.ProcID
+}
+
+// Recorder accumulates a run. It is safe for concurrent use so the live
+// (goroutine) runtime can share one recorder; the simulator uses it
+// single-threaded.
+type Recorder struct {
+	mu      sync.Mutex
+	clock   func() int64
+	events  []event.Event
+	vcs     map[ids.ProcID]causal.VC
+	lamport map[ids.ProcID]uint64
+	inFly   map[int64]stamp
+	counts  map[string]int
+	sent    int
+	views   map[ids.ProcID][]ViewRecord
+	hist    map[ids.ProcID]int
+}
+
+type stamp struct {
+	vc      causal.VC
+	lamport uint64
+}
+
+// NewRecorder builds a recorder; clock supplies event times (virtual or
+// wall). A nil clock records zero times.
+func NewRecorder(clock func() int64) *Recorder {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Recorder{
+		clock:   clock,
+		vcs:     make(map[ids.ProcID]causal.VC),
+		lamport: make(map[ids.ProcID]uint64),
+		inFly:   make(map[int64]stamp),
+		counts:  make(map[string]int),
+		views:   make(map[ids.ProcID][]ViewRecord),
+		hist:    make(map[ids.ProcID]int),
+	}
+}
+
+func (r *Recorder) vcOf(p ids.ProcID) causal.VC {
+	vc, ok := r.vcs[p]
+	if !ok {
+		vc = causal.New()
+		r.vcs[p] = vc
+	}
+	return vc
+}
+
+// append assumes r.mu is held and the process clocks are already advanced.
+func (r *Recorder) append(e event.Event) {
+	e.Index = len(r.events)
+	r.hist[e.Proc]++
+	e.Seq = r.hist[e.Proc]
+	e.Time = r.clock()
+	e.Lamport = r.lamport[e.Proc]
+	e.Clock = r.vcs[e.Proc].Clone()
+	r.events = append(r.events, e)
+}
+
+// RecordStart logs the unique start event of a process history.
+func (r *Recorder) RecordStart(p ids.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vcOf(p).Tick(p)
+	r.lamport[p]++
+	r.append(event.Event{Proc: p, Kind: event.Start})
+}
+
+// RecordSend logs send(from, to, m) and remembers the message's causal
+// stamp so the matching receive can merge it.
+func (r *Recorder) RecordSend(from, to ids.ProcID, msgID int64, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vc := r.vcOf(from)
+	vc.Tick(from)
+	r.lamport[from]++
+	r.inFly[msgID] = stamp{vc: vc.Clone(), lamport: r.lamport[from]}
+	r.counts[label]++
+	r.sent++
+	r.append(event.Event{Proc: from, Kind: event.Send, Other: to, MsgID: msgID, Label: label})
+}
+
+// RecordRecv logs recv(from, to, m), merging the sender's stamp.
+func (r *Recorder) RecordRecv(from, to ids.ProcID, msgID int64, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	vc := r.vcOf(to)
+	st, ok := r.inFly[msgID]
+	if ok {
+		vc.Merge(st.vc)
+		if st.lamport > r.lamport[to] {
+			r.lamport[to] = st.lamport
+		}
+		delete(r.inFly, msgID)
+	}
+	vc.Tick(to)
+	r.lamport[to]++
+	r.append(event.Event{Proc: to, Kind: event.Recv, Other: from, MsgID: msgID, Label: label})
+}
+
+// RecordDrop logs a message discarded at the receiver (property S1). The
+// drop does NOT merge the sender's clock: a discarded message causally
+// influences nobody, which is precisely S1's purpose.
+func (r *Recorder) RecordDrop(from, to ids.ProcID, msgID int64, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.inFly, msgID)
+	r.vcOf(to).Tick(to)
+	r.lamport[to]++
+	r.append(event.Event{Proc: to, Kind: event.Drop, Other: from, MsgID: msgID, Label: label})
+}
+
+// RecordInternal logs a protocol-internal event such as faulty_p(q).
+func (r *Recorder) RecordInternal(p ids.ProcID, k event.Kind, other ids.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vcOf(p).Tick(p)
+	r.lamport[p]++
+	r.append(event.Event{Proc: p, Kind: k, Other: other})
+}
+
+// RecordInstall logs a completed local view transition.
+func (r *Recorder) RecordInstall(p ids.ProcID, ver member.Version, members []ids.ProcID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vcOf(p).Tick(p)
+	r.lamport[p]++
+	ms := make([]ids.ProcID, len(members))
+	copy(ms, members)
+	r.views[p] = append(r.views[p], ViewRecord{Ver: ver, Members: ms})
+	r.append(event.Event{Proc: p, Kind: event.InstallView, Other: ids.Nil, Ver: ver, Members: ms})
+}
+
+// Events returns a copy of the recorded run.
+func (r *Recorder) Events() []event.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]event.Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// MessagesSent returns the total number of messages recorded, or — when
+// labels are given — the sum over those message kinds only. The §7.2
+// analysis counts protocol messages (invitations, OKs, commits,
+// interrogations, proposals), so benches pass the relevant labels.
+func (r *Recorder) MessagesSent(labels ...string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(labels) == 0 {
+		return r.sent
+	}
+	total := 0
+	for _, l := range labels {
+		total += r.counts[l]
+	}
+	return total
+}
+
+// CountsByLabel returns a copy of the per-kind message counters.
+func (r *Recorder) CountsByLabel() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// ViewLog returns the sequence of views installed by p, in order.
+func (r *Recorder) ViewLog(p ids.ProcID) []ViewRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	log := r.views[p]
+	out := make([]ViewRecord, len(log))
+	copy(out, log)
+	return out
+}
+
+// Procs returns every process that appears in the run, deterministically
+// ordered.
+func (r *Recorder) Procs() []ids.ProcID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := ids.NewSet()
+	for p := range r.hist {
+		s.Add(p)
+	}
+	return s.Sorted()
+}

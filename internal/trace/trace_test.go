@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"testing"
+
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+func TestHistoriesGetSeqNumbers(t *testing.T) {
+	r := NewRecorder(nil)
+	a, b := ids.Named("a"), ids.Named("b")
+	r.RecordStart(a)
+	r.RecordStart(b)
+	r.RecordInternal(a, event.Faulty, b)
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[2].Seq != 2 {
+		t.Errorf("per-process Seq wrong: %v / %v", evs[0], evs[2])
+	}
+	if evs[2].Kind != event.Faulty || evs[2].Other != b {
+		t.Errorf("internal event malformed: %v", evs[2])
+	}
+}
+
+func TestCausalStampsAcrossMessages(t *testing.T) {
+	r := NewRecorder(nil)
+	a, b, c := ids.Named("a"), ids.Named("b"), ids.Named("c")
+	r.RecordStart(a)
+	r.RecordStart(b)
+	r.RecordStart(c)
+	r.RecordSend(a, b, 1, "M")
+	r.RecordRecv(a, b, 1, "M")
+	r.RecordSend(b, c, 2, "M")
+	r.RecordRecv(b, c, 2, "M")
+	evs := r.Events()
+	sendA := evs[3]
+	recvC := evs[6]
+	if !sendA.Clock.HappensBefore(recvC.Clock) {
+		t.Errorf("transitive causality lost: %v vs %v", sendA.Clock, recvC.Clock)
+	}
+	if recvC.Lamport <= sendA.Lamport {
+		t.Errorf("lamport not monotone along chain: %d vs %d", sendA.Lamport, recvC.Lamport)
+	}
+}
+
+func TestDropDoesNotPropagateCausality(t *testing.T) {
+	// Property S1: a discarded message influences nobody.
+	r := NewRecorder(nil)
+	a, b := ids.Named("a"), ids.Named("b")
+	r.RecordStart(a)
+	r.RecordStart(b)
+	r.RecordSend(a, b, 1, "M")
+	r.RecordDrop(a, b, 1, "M")
+	evs := r.Events()
+	send, drop := evs[2], evs[3]
+	if send.Clock.HappensBefore(drop.Clock) {
+		t.Error("S1 violated: dropped message created causality")
+	}
+}
+
+func TestMessageCounters(t *testing.T) {
+	r := NewRecorder(nil)
+	a, b := ids.Named("a"), ids.Named("b")
+	r.RecordStart(a)
+	r.RecordSend(a, b, 1, "Invite")
+	r.RecordSend(a, b, 2, "Invite")
+	r.RecordSend(a, b, 3, "Commit")
+	if got := r.MessagesSent(); got != 3 {
+		t.Errorf("total = %d", got)
+	}
+	if got := r.MessagesSent("Invite"); got != 2 {
+		t.Errorf("Invite = %d", got)
+	}
+	if got := r.MessagesSent("Invite", "Commit"); got != 3 {
+		t.Errorf("Invite+Commit = %d", got)
+	}
+	counts := r.CountsByLabel()
+	if counts["Commit"] != 1 {
+		t.Errorf("CountsByLabel = %v", counts)
+	}
+	counts["Commit"] = 99
+	if r.CountsByLabel()["Commit"] != 1 {
+		t.Error("CountsByLabel leaked internal map")
+	}
+}
+
+func TestViewLog(t *testing.T) {
+	r := NewRecorder(nil)
+	a := ids.Named("a")
+	r.RecordStart(a)
+	ms := []ids.ProcID{a, ids.Named("b")}
+	r.RecordInstall(a, 1, ms)
+	ms[1] = ids.Named("zz") // recorder must have copied
+	log := r.ViewLog(a)
+	if len(log) != 1 || log[0].Ver != 1 {
+		t.Fatalf("ViewLog = %v", log)
+	}
+	if log[0].Members[1] != ids.Named("b") {
+		t.Error("RecordInstall aliased caller slice")
+	}
+	if r.ViewLog(ids.Named("nobody")) != nil && len(r.ViewLog(ids.Named("nobody"))) != 0 {
+		t.Error("unknown proc should have empty log")
+	}
+}
+
+func TestProcs(t *testing.T) {
+	r := NewRecorder(nil)
+	r.RecordStart(ids.Named("b"))
+	r.RecordStart(ids.Named("a"))
+	got := r.Procs()
+	if len(got) != 2 || got[0] != ids.Named("a") || got[1] != ids.Named("b") {
+		t.Errorf("Procs = %v", got)
+	}
+}
+
+func TestClockSource(t *testing.T) {
+	now := int64(0)
+	r := NewRecorder(func() int64 { return now })
+	a := ids.Named("a")
+	r.RecordStart(a)
+	now = 42
+	r.RecordInternal(a, event.Quit, ids.Nil)
+	evs := r.Events()
+	if evs[0].Time != 0 || evs[1].Time != 42 {
+		t.Errorf("times = %d,%d", evs[0].Time, evs[1].Time)
+	}
+}
+
+func TestInstallRecordsVersion(t *testing.T) {
+	r := NewRecorder(nil)
+	a := ids.Named("a")
+	r.RecordStart(a)
+	r.RecordInstall(a, member.Version(7), []ids.ProcID{a})
+	evs := r.Events()
+	last := evs[len(evs)-1]
+	if last.Kind != event.InstallView || last.Ver != 7 {
+		t.Errorf("install event = %v", last)
+	}
+}

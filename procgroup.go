@@ -1,0 +1,90 @@
+// Package procgroup is a from-scratch implementation of the group
+// membership protocol of Ricciardi & Birman, "Using Process Groups to
+// Implement Failure Detection in Asynchronous Environments" (Cornell
+// TR 91-1188 / PODC 1991): an asymmetric, coordinator-driven membership
+// service that turns unreliable failure suspicions into an agreed, totally
+// ordered sequence of views — the mechanism underlying ISIS-style virtual
+// synchrony.
+//
+// The package exposes two ways to run the protocol:
+//
+//   - StartGroup boots a live group: one goroutine per process, an
+//     in-memory transport, and a heartbeat failure detector. This is the
+//     deployment shape for applications.
+//
+//   - NewSim builds a deterministic simulation on virtual time with exact
+//     message accounting, adversarial failure injection (crashes in
+//     mid-broadcast, spurious suspicions, partitions) and a GMP property
+//     checker. This is the shape for tests, benchmarks, and reproducing
+//     the paper's evaluation.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package procgroup
+
+import (
+	"procgroup/internal/check"
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+	"procgroup/internal/live"
+	"procgroup/internal/member"
+	"procgroup/internal/scenario"
+)
+
+// Re-exported identity and membership types.
+type (
+	// ProcID identifies one process instance; recoveries use fresh
+	// incarnations (GMP-4).
+	ProcID = ids.ProcID
+	// View is a local membership view with seniority ranks.
+	View = member.View
+	// Version numbers successive views.
+	Version = member.Version
+	// Op is a single membership update (add or remove).
+	Op = member.Op
+	// Config selects the protocol variant (compression, majority gate,
+	// initiation timeout).
+	Config = core.Config
+	// Report is the verdict of the GMP property checker.
+	Report = check.Report
+	// ViewUpdate is one installed view streamed from a live group.
+	ViewUpdate = live.ViewUpdate
+	// GroupOptions configures StartGroup.
+	GroupOptions = live.Options
+	// SimOptions configures NewSim.
+	SimOptions = scenario.Options
+	// Group is a running live process group.
+	Group = live.Cluster
+	// Sim is a deterministic simulated process group.
+	Sim = scenario.Cluster
+)
+
+// Named returns the incarnation-0 identifier for a site name.
+func Named(site string) ProcID { return ids.Named(site) }
+
+// Processes generates the conventional initial membership p1..pn.
+func Processes(n int) []ProcID { return ids.Gen(n) }
+
+// DefaultConfig is the paper's final algorithm: compressed rounds, majority
+// gate, initiation timeout.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// StartGroup boots a live process group of opts.N members and returns once
+// its goroutines are running. Callers own the group and must Stop it.
+func StartGroup(opts GroupOptions) *Group { return live.Start(opts) }
+
+// NewSim builds a deterministic simulated group. Schedule failures and
+// joins, call Run to quiescence, then inspect views, message counts and
+// the checker's Report.
+func NewSim(opts SimOptions) *Sim { return scenario.New(opts) }
+
+// Message-count labels for the §7.2 complexity accounting, usable with
+// Sim.Messages.
+var (
+	// ExclusionLabels are the messages of the two-phase update algorithm.
+	ExclusionLabels = core.ExclusionLabels
+	// ReconfigLabels are the messages of the three-phase reconfiguration.
+	ReconfigLabels = core.ReconfigLabels
+	// ProtocolLabels is every protocol message kind.
+	ProtocolLabels = core.ProtocolLabels
+)

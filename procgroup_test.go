@@ -1,0 +1,117 @@
+package procgroup_test
+
+// Tests of the public API surface: the simulation facade, the live group
+// facade, determinism of seeded runs, and the re-exported label sets.
+
+import (
+	"testing"
+	"time"
+
+	"procgroup"
+)
+
+func TestSimFacadeEndToEnd(t *testing.T) {
+	sim := procgroup.NewSim(procgroup.SimOptions{N: 5, Seed: 3, Config: procgroup.DefaultConfig()})
+	procs := sim.Initial()
+	sim.CrashAt(procs[0], 50)
+	sim.Run()
+
+	v, err := sim.StableView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(procs[0]) || v.Size() != 4 {
+		t.Errorf("stable view %v", v)
+	}
+	if rep := sim.Check(); !rep.OK() {
+		t.Errorf("checker: %v", rep)
+	}
+	if sim.Messages(procgroup.ReconfigLabels...) != 5*5-9 {
+		t.Errorf("reconfig messages = %d, want %d", sim.Messages(procgroup.ReconfigLabels...), 5*5-9)
+	}
+}
+
+func TestSeededRunsAreBitIdentical(t *testing.T) {
+	run := func() ([]string, int) {
+		sim := procgroup.NewSim(procgroup.SimOptions{N: 6, Seed: 99, Config: procgroup.DefaultConfig()})
+		procs := sim.Initial()
+		sim.CrashAt(procs[0], 40)
+		sim.CrashAt(procs[5], 300)
+		sim.JoinAt(procgroup.Named("j1"), procs[1], 700)
+		sim.Run()
+		var evs []string
+		for _, e := range sim.Rec.Events() {
+			evs = append(evs, e.String())
+		}
+		return evs, sim.Messages()
+	}
+	evA, msgA := run()
+	evB, msgB := run()
+	if msgA != msgB {
+		t.Fatalf("message totals diverged: %d vs %d", msgA, msgB)
+	}
+	if len(evA) != len(evB) {
+		t.Fatalf("event counts diverged: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("event %d diverged:\n%s\n%s", i, evA[i], evB[i])
+		}
+	}
+}
+
+func TestProcessesAndNamed(t *testing.T) {
+	ps := procgroup.Processes(3)
+	if len(ps) != 3 || ps[0] != procgroup.Named("p1") || ps[2] != procgroup.Named("p3") {
+		t.Errorf("Processes(3) = %v", ps)
+	}
+}
+
+func TestDefaultConfigIsFinalAlgorithm(t *testing.T) {
+	cfg := procgroup.DefaultConfig()
+	if !cfg.Compression || !cfg.MajorityCheck || cfg.ReconfigWait <= 0 {
+		t.Errorf("DefaultConfig = %+v, want compression+majority+timeout", cfg)
+	}
+	if cfg.TwoPhaseReconfig {
+		t.Error("DefaultConfig must never enable the Claim 7.2 strawman")
+	}
+}
+
+func TestLabelSetsDisjointAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, l := range procgroup.ExclusionLabels {
+		seen[l] = true
+	}
+	for _, l := range procgroup.ReconfigLabels {
+		if seen[l] {
+			t.Errorf("label %q in both exclusion and reconfiguration sets", l)
+		}
+	}
+	if len(procgroup.ProtocolLabels) != len(procgroup.ExclusionLabels)+len(procgroup.ReconfigLabels) {
+		t.Error("ProtocolLabels is not the union of the two sets")
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              3,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+	})
+	defer g.Stop()
+	v, err := g.WaitConverged(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 3 || v.Mgr() != procgroup.Named("p1") {
+		t.Errorf("initial view %v", v)
+	}
+	g.Kill(procgroup.Named("p3"))
+	v, err = g.WaitConverged(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 2 {
+		t.Errorf("view after kill %v", v)
+	}
+}

@@ -1,0 +1,111 @@
+package procgroup
+
+import (
+	"sync"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// ViewWatcher condenses a live group's per-process install stream into the
+// agreed view sequence: each version is emitted exactly once, in order,
+// the first time any member reports installing it. GMP-2/GMP-3 guarantee
+// that every process's version-x view is identical, which is what makes
+// "first report wins" sound — the watcher is the programmatic form of the
+// paper's "responses to queries on Memb(p,c) … reflect an exact system
+// view composition" (§2.3).
+type ViewWatcher struct {
+	mu      sync.Mutex
+	seen    map[member.Version][]ids.ProcID
+	highest member.Version
+	closed  bool
+	out     chan AgreedView
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// AgreedView is one entry of the agreed view sequence.
+type AgreedView struct {
+	Ver     Version
+	Members []ProcID
+}
+
+// Watch starts consuming the group's update stream. The watcher owns the
+// stream until Close; emitted views arrive on Views() in version order.
+func Watch(g *Group) *ViewWatcher {
+	w := &ViewWatcher{
+		seen:    make(map[member.Version][]ids.ProcID),
+		highest: -1,
+		out:     make(chan AgreedView, 64),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.run(g)
+	return w
+}
+
+func (w *ViewWatcher) run(g *Group) {
+	defer close(w.done)
+	defer close(w.out)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case u, ok := <-g.Updates():
+			if !ok {
+				return
+			}
+			w.ingest(u)
+		}
+	}
+}
+
+func (w *ViewWatcher) ingest(u ViewUpdate) {
+	w.mu.Lock()
+	_, dup := w.seen[u.Ver]
+	if !dup {
+		members := make([]ids.ProcID, len(u.Members))
+		copy(members, u.Members)
+		w.seen[u.Ver] = members
+		if u.Ver > w.highest {
+			w.highest = u.Ver
+		}
+	}
+	w.mu.Unlock()
+	if dup {
+		return
+	}
+	select {
+	case w.out <- AgreedView{Ver: u.Ver, Members: u.Members}:
+	case <-w.stop:
+	}
+}
+
+// Views is the agreed view stream. It is closed by Close (or when the
+// group's update stream ends).
+func (w *ViewWatcher) Views() <-chan AgreedView { return w.out }
+
+// Current returns the highest agreed view seen so far (ok == false before
+// the first one).
+func (w *ViewWatcher) Current() (AgreedView, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.highest < 0 {
+		return AgreedView{}, false
+	}
+	members := w.seen[w.highest]
+	out := make([]ids.ProcID, len(members))
+	copy(out, members)
+	return AgreedView{Ver: w.highest, Members: out}, true
+}
+
+// Close stops the watcher and waits for its goroutine to exit.
+func (w *ViewWatcher) Close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.stop)
+	}
+	w.mu.Unlock()
+	<-w.done
+}

@@ -1,0 +1,71 @@
+package procgroup_test
+
+import (
+	"testing"
+	"time"
+
+	"procgroup"
+)
+
+func TestViewWatcherEmitsAgreedSequence(t *testing.T) {
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              4,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+	})
+	defer g.Stop()
+	w := procgroup.Watch(g)
+	defer w.Close()
+
+	if _, err := g.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Kill(procgroup.Named("p4"))
+	if _, err := g.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Kill(procgroup.Named("p1"))
+	if _, err := g.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The watcher must deliver v0, v1, v2 exactly once each, in order.
+	deadline := time.After(5 * time.Second)
+	for want := procgroup.Version(0); want <= 2; want++ {
+		select {
+		case av, ok := <-w.Views():
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			if av.Ver != want {
+				t.Fatalf("got v%d, want v%d (order/dedup broken)", av.Ver, want)
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for v%d", want)
+		}
+	}
+	cur, ok := w.Current()
+	if !ok || cur.Ver != 2 || len(cur.Members) != 2 {
+		t.Errorf("Current = %+v, want v2 with 2 members", cur)
+	}
+}
+
+func TestViewWatcherCloseIsSafe(t *testing.T) {
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              3,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+	})
+	defer g.Stop()
+	w := procgroup.Watch(g)
+	if _, err := g.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w.Close() // idempotent
+	if _, ok := <-w.Views(); ok {
+		// Draining remaining buffered views is fine; eventually closes.
+		for range w.Views() {
+		}
+	}
+}
