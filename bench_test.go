@@ -233,3 +233,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		sim.Run()
 	}
 }
+
+// BenchmarkTimeToViewQuiescence measures the live runtime's end-to-end
+// view-agreement latency per transport: boot to the initial agreed view,
+// then a member crash to the post-exclusion agreed view. It is the perf
+// baseline for transport work — inmem is the floor (function-call
+// delivery), tcp pays the codec and loopback-socket tax on every channel.
+func BenchmarkTimeToViewQuiescence(b *testing.B) {
+	transports := []struct {
+		name string
+		make func() procgroup.Transport
+	}{
+		{"inmem", func() procgroup.Transport { return procgroup.NewInmemTransport() }},
+		{"tcp", func() procgroup.Transport { return procgroup.NewTCPTransport() }},
+	}
+	for _, tr := range transports {
+		b.Run(tr.name, func(b *testing.B) {
+			var bootTotal, exclTotal time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				g := procgroup.StartGroup(procgroup.GroupOptions{
+					N:              5,
+					HeartbeatEvery: 2 * time.Millisecond,
+					SuspectAfter:   20 * time.Millisecond,
+					Transport:      tr.make(),
+				})
+				if _, err := g.WaitConverged(10 * time.Second); err != nil {
+					g.Stop()
+					b.Fatal(err)
+				}
+				bootTotal += time.Since(start)
+				start = time.Now()
+				g.Kill(procgroup.Named("p5"))
+				if _, err := g.WaitConverged(10 * time.Second); err != nil {
+					g.Stop()
+					b.Fatal(err)
+				}
+				exclTotal += time.Since(start)
+				g.Stop()
+			}
+			b.ReportMetric(float64(bootTotal.Microseconds())/float64(b.N), "µs/boot-quiesce")
+			b.ReportMetric(float64(exclTotal.Microseconds())/float64(b.N), "µs/excl-quiesce")
+		})
+	}
+}

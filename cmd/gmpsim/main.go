@@ -1,11 +1,14 @@
 // gmpsim runs named protocol scenarios on the deterministic simulator and
 // prints the event-level story: suspicions, view installations, quits, and
-// the GMP checker's verdict.
+// the GMP checker's verdict. With -live it instead boots the real
+// goroutine runtime on a chosen transport and drives a churn scenario over
+// actual sockets.
 //
 // Usage:
 //
 //	gmpsim -scenario exclusion -n 5 -seed 1
 //	gmpsim -scenario reconfig -trace
+//	gmpsim -live -transport tcp -n 5
 //	gmpsim -list
 package main
 
@@ -13,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"procgroup"
 	"procgroup/internal/core"
 	"procgroup/internal/event"
 	"procgroup/internal/ids"
@@ -77,7 +82,14 @@ func main() {
 	traceAll := flag.Bool("trace", false, "print the full event trace")
 	jsonOut := flag.String("json", "", "write the full run as JSON Lines to this file")
 	list := flag.Bool("list", false, "list scenarios")
+	liveRun := flag.Bool("live", false, "run the churn scenario on the live goroutine runtime instead of the simulator")
+	transportName := flag.String("transport", "inmem", "live transport: inmem, tcp (loopback sockets), or lossy (ABP over a lossy link)")
 	flag.Parse()
+
+	if *liveRun {
+		runLive(*transportName, *n)
+		return
+	}
 
 	if *list {
 		for name, s := range scenarios {
@@ -130,4 +142,66 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *jsonOut)
 	}
+}
+
+// runLive boots the real goroutine runtime over the named transport and
+// drives a join + crash churn, printing the agreed view sequence as the
+// ViewWatcher condenses it from the per-process install streams.
+func runLive(transportName string, n int) {
+	var tr procgroup.Transport
+	switch transportName {
+	case "inmem":
+		tr = procgroup.NewInmemTransport()
+	case "tcp":
+		tr = procgroup.NewTCPTransport()
+	case "lossy":
+		tr = procgroup.NewLossyTransport(procgroup.LossyTransportOptions{})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown transport %q; want inmem, tcp or lossy\n", transportName)
+		os.Exit(1)
+	}
+	if n < 3 {
+		n = 3
+	}
+	fmt.Printf("live churn over %s transport, n=%d\n\n", transportName, n)
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              n,
+		HeartbeatEvery: 20 * time.Millisecond,
+		SuspectAfter:   200 * time.Millisecond,
+		Transport:      tr,
+	})
+	defer g.Stop()
+	w := procgroup.Watch(g)
+	defer w.Close()
+
+	step := func(what string) {
+		v, err := g.WaitConverged(30 * time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-28s -> converged on %v\n", what, v)
+	}
+	step("bootstrap")
+	g.Join(procgroup.Named("q1"), procgroup.Named("p2"))
+	step("join q1 via p2")
+	last := g.Running()[len(g.Running())-1]
+	g.Kill(last)
+	step(fmt.Sprintf("kill %v", last))
+	g.Kill(procgroup.Named("p1"))
+	step("kill p1 (coordinator)")
+
+	// The installs are all published, but the watcher goroutine may still
+	// be forwarding them; drain until the stream goes quiet.
+	fmt.Println("\nagreed view sequence:")
+drain:
+	for {
+		select {
+		case av := <-w.Views():
+			fmt.Printf("  v%-3d %v\n", av.Ver, av.Members)
+		case <-time.After(500 * time.Millisecond):
+			break drain
+		}
+	}
+	fmt.Printf("\ninstalls dropped from the update stream: %d\n", g.Dropped())
 }

@@ -1,0 +1,3 @@
+module procgroup
+
+go 1.24

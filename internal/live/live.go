@@ -1,14 +1,16 @@
 // Package live runs the GMP protocol on real goroutines with real time:
-// one goroutine per process, an in-memory transport, and a heartbeat
-// failure detector implementing F1 (§2.2) — the deployment shape the paper
-// targets ("a constant flow of requests … which is exactly what occurs in
-// actual systems"). The protocol code is the same internal/core state
-// machine the simulator runs; only the substrate differs.
+// one goroutine per process, a pluggable transport (in-memory by default,
+// TCP sockets or a lossy ABP-repaired datagram link via Options), and a
+// heartbeat failure detector implementing F1 (§2.2) — the deployment shape
+// the paper targets ("a constant flow of requests … which is exactly what
+// occurs in actual systems"). The protocol code is the same internal/core
+// state machine the simulator runs; only the substrate differs.
 package live
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"procgroup/internal/core"
@@ -16,6 +18,7 @@ import (
 	"procgroup/internal/ids"
 	"procgroup/internal/member"
 	"procgroup/internal/trace"
+	"procgroup/internal/transport"
 )
 
 // Heartbeat is the failure-detection beacon; it is substrate traffic and is
@@ -24,6 +27,8 @@ type Heartbeat struct{}
 
 // MsgLabel implements netsim.Labeled for uniform counting.
 func (Heartbeat) MsgLabel() string { return "Heartbeat" }
+
+func init() { transport.RegisterPayload(Heartbeat{}) }
 
 // Options configures a live cluster.
 type Options struct {
@@ -36,6 +41,14 @@ type Options struct {
 	// SuspectAfter is the silence threshold before faulty_p(q) fires
 	// (default 6 × HeartbeatEvery).
 	SuspectAfter time.Duration
+	// Transport is the message substrate. Nil selects in-process
+	// delivery (transport.NewInmem), the seed behavior. The cluster
+	// takes ownership and closes it on Stop.
+	Transport transport.Transport
+	// UpdateBuffer sizes the installed-view stream (default 1024).
+	// When subscribers fall behind, installs are dropped and counted on
+	// Dropped rather than wedging the protocol.
+	UpdateBuffer int
 }
 
 // ViewUpdate is one installed view, published to subscribers.
@@ -49,6 +62,9 @@ type ViewUpdate struct {
 type Cluster struct {
 	opts Options
 	rec  *trace.Recorder
+	tr   transport.Transport
+
+	dropped atomic.Int64 // installs lost to a full updates stream
 
 	mu      sync.Mutex
 	nodes   map[ids.ProcID]*liveNode
@@ -83,6 +99,12 @@ func Start(opts Options) *Cluster {
 	if opts.SuspectAfter <= 0 {
 		opts.SuspectAfter = 6 * opts.HeartbeatEvery
 	}
+	if opts.UpdateBuffer <= 0 {
+		opts.UpdateBuffer = 1024
+	}
+	if opts.Transport == nil {
+		opts.Transport = transport.NewInmem()
+	}
 	cfg := core.DefaultConfig()
 	if opts.Config != nil {
 		cfg = *opts.Config
@@ -94,8 +116,9 @@ func Start(opts Options) *Cluster {
 
 	c := &Cluster{
 		opts:    opts,
+		tr:      opts.Transport,
 		nodes:   make(map[ids.ProcID]*liveNode, opts.N),
-		updates: make(chan ViewUpdate, 1024),
+		updates: make(chan ViewUpdate, opts.UpdateBuffer),
 		start:   time.Now(),
 	}
 	c.rec = trace.NewRecorder(func() int64 { return int64(time.Since(c.start) / time.Microsecond) })
@@ -106,14 +129,19 @@ func Start(opts Options) *Cluster {
 		c.spawnLocked(p, cfg)
 	}
 	for _, p := range procs {
-		ln := c.nodes[p]
-		ln.box.put(envelope{fn: func() { ln.node.Bootstrap(procs) }})
+		if ln := c.nodes[p]; ln != nil {
+			ln.box.put(envelope{fn: func() { ln.node.Bootstrap(procs) }})
+		}
 	}
 	c.mu.Unlock()
 	return c
 }
 
-// spawnLocked creates and starts a node goroutine; c.mu must be held.
+// spawnLocked creates and starts a node goroutine; c.mu must be held. The
+// node is registered with the transport before its loop starts, so no
+// bootstrap traffic can race past it; a registration failure (duplicate
+// id, or a socket transport that cannot open an endpoint) yields nil and
+// no node.
 func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 	ln := &liveNode{
 		c:        c,
@@ -124,11 +152,20 @@ func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 		lastSeen: make(map[ids.ProcID]time.Time),
 	}
 	ln.node = core.New(p, (*liveEnv)(ln), cfg)
+	if err := c.tr.Register(p, ln.deliver); err != nil {
+		return nil
+	}
 	c.nodes[p] = ln
 	c.rec.RecordStart(p)
 	c.wg.Add(1)
 	go ln.run()
 	return ln
+}
+
+// deliver is the transport handler: it appends to the node's mailbox and
+// never blocks, as the Transport contract requires.
+func (ln *liveNode) deliver(from ids.ProcID, m transport.Message) {
+	ln.box.put(envelope{from: from, payload: m.Payload, msgID: m.MsgID})
 }
 
 // run is the node's event loop: heartbeats, failure detection, mailbox.
@@ -163,18 +200,17 @@ func (ln *liveNode) dispatch(e envelope) {
 		e.fn()
 		return
 	}
-	from, err := ids.Parse(e.from)
-	if err != nil {
+	if e.from.IsNil() {
 		return
 	}
-	ln.lastSeen[from] = time.Now()
+	ln.lastSeen[e.from] = time.Now()
 	if _, isBeat := e.payload.(Heartbeat); isBeat {
 		return
 	}
 	if e.msgID != 0 {
-		ln.c.rec.RecordRecv(from, ln.id, e.msgID, labelOf(e.payload))
+		ln.c.rec.RecordRecv(e.from, ln.id, e.msgID, labelOf(e.payload))
 	}
-	ln.node.Deliver(from, e.payload)
+	ln.node.Deliver(e.from, e.payload)
 }
 
 // beat sends heartbeats to every current view member and raises suspicions
@@ -201,19 +237,14 @@ func (ln *liveNode) beat() {
 	}
 }
 
-// post routes a payload to the destination mailbox. Mailboxes are FIFO, so
-// the per-channel ordering the protocol requires (§2.1) holds by
-// construction; the simulator, not the live transport, is where adversarial
-// reordering across channels is exercised. msgID correlates the receive
-// with its recorded send (0 = unrecorded substrate traffic).
+// post hands a payload to the transport. Every Transport implementation
+// preserves the per-channel FIFO ordering the protocol requires (§2.1);
+// the simulator, not the live substrate, is where adversarial reordering
+// across channels is exercised. msgID correlates the receive with its
+// recorded send (0 = unrecorded substrate traffic); it travels inside the
+// wire frame on socket transports.
 func (c *Cluster) post(from, to ids.ProcID, msgID int64, payload any) {
-	c.mu.Lock()
-	dst, ok := c.nodes[to]
-	c.mu.Unlock()
-	if !ok {
-		return // dead or unknown host: the datagram is lost
-	}
-	dst.box.put(envelope{from: from.String(), payload: payload, msgID: msgID})
+	c.tr.Send(from, to, transport.Message{MsgID: msgID, Payload: payload})
 }
 
 // liveEnv adapts a liveNode to core.Env; all methods run on the event loop.
@@ -277,12 +308,15 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	upd := ViewUpdate{Proc: ln.id, Ver: ver, Members: members}
 	select {
 	case ln.c.updates <- upd:
-	default: // subscriber too slow; drop rather than wedge the protocol
+	default:
+		// Subscriber too slow: drop rather than wedge the protocol, but
+		// leave the loss observable.
+		ln.c.dropped.Add(1)
 	}
 }
 
-// unregister removes a node from the transport (its mailbox stops
-// accepting) without joining its goroutine; the loop exits on its own.
+// unregister removes a node from the transport (its endpoint and mailbox
+// stop accepting) without joining its goroutine; the loop exits on its own.
 func (c *Cluster) unregister(p ids.ProcID) {
 	c.mu.Lock()
 	ln, ok := c.nodes[p]
@@ -291,6 +325,7 @@ func (c *Cluster) unregister(p ids.ProcID) {
 	}
 	c.mu.Unlock()
 	if ok {
+		c.tr.Unregister(p)
 		ln.box.close()
 	}
 }
@@ -300,11 +335,20 @@ func (c *Cluster) unregister(p ids.ProcID) {
 // Updates streams installed views from every node (best effort).
 func (c *Cluster) Updates() <-chan ViewUpdate { return c.updates }
 
+// Dropped reports how many installs were lost because the Updates stream
+// was full. A nonzero count means subscribers fell behind by more than
+// Options.UpdateBuffer installs.
+func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// Transport exposes the cluster's message substrate (for tests and tools
+// that need endpoint addresses, e.g. TCP peer directories).
+func (c *Cluster) Transport() transport.Transport { return c.tr }
+
 // Recorder exposes the run trace.
 func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
 
-// Kill hard-crashes a process: its goroutine stops and its mailbox is
-// removed, exactly like a host failure.
+// Kill hard-crashes a process: its goroutine stops and its transport
+// endpoint is torn down, exactly like a host failure.
 func (c *Cluster) Kill(p ids.ProcID) {
 	c.mu.Lock()
 	ln, ok := c.nodes[p]
@@ -315,6 +359,7 @@ func (c *Cluster) Kill(p ids.ProcID) {
 	if !ok {
 		return
 	}
+	c.tr.Unregister(p)
 	close(ln.stop)
 	ln.box.close()
 	<-ln.done
@@ -333,6 +378,9 @@ func (c *Cluster) Join(p, contact ids.ProcID) {
 	}
 	ln := c.spawnLocked(p, cfg)
 	c.mu.Unlock()
+	if ln == nil {
+		return // duplicate id or endpoint failure; nothing was spawned
+	}
 	ln.box.put(envelope{fn: func() { ln.node.StartJoin(contact) }})
 }
 
@@ -438,8 +486,10 @@ func (c *Cluster) Stop() {
 	c.nodes = make(map[ids.ProcID]*liveNode)
 	c.mu.Unlock()
 	for _, ln := range nodes {
+		c.tr.Unregister(ln.id)
 		close(ln.stop)
 		ln.box.close()
 	}
+	c.tr.Close()
 	c.wg.Wait()
 }

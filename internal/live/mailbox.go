@@ -1,6 +1,10 @@
 package live
 
-import "sync"
+import (
+	"sync"
+
+	"procgroup/internal/ids"
+)
 
 // mailbox is an unbounded FIFO queue with a wake channel. Unbounded is the
 // right trade here: protocol traffic is small and bounded by group size,
@@ -15,7 +19,7 @@ type mailbox struct {
 
 // envelope is one queued input for a node's event loop.
 type envelope struct {
-	from    string // sender id string (empty for local closures)
+	from    ids.ProcID // sender (Nil for local closures)
 	payload any
 	msgID   int64  // trace correlation id (0 for unrecorded traffic)
 	fn      func() // when non-nil, a local task (timer, query)

@@ -1,0 +1,145 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"procgroup/internal/check"
+	"procgroup/internal/ids"
+	"procgroup/internal/transport"
+)
+
+// tcpFast returns options running the cluster over real TCP loopback
+// sockets. The suspicion margin is wider than inmem's: socket delivery
+// adds codec and syscall latency, and the race detector inflates both.
+func tcpFast(n int) Options {
+	return Options{
+		N:              n,
+		HeartbeatEvery: 15 * time.Millisecond,
+		SuspectAfter:   150 * time.Millisecond,
+		Transport:      transport.NewTCP(),
+	}
+}
+
+// TestTCPBootstrapConverges: the initial view forms over real sockets.
+func TestTCPBootstrapConverges(t *testing.T) {
+	c := Start(tcpFast(5))
+	defer c.Stop()
+	v, err := c.WaitConverged(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 5 || v.Version() != 0 {
+		t.Errorf("initial view %v", v)
+	}
+}
+
+// TestTCPChurnSatisfiesGMP runs a join + crash churn over TCP loopback and
+// checks the accumulated trace against the GMP properties.
+func TestTCPChurnSatisfiesGMP(t *testing.T) {
+	c := Start(tcpFast(5))
+	defer c.Stop()
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Join(ids.Named("q1"), ids.Named("p2"))
+	if _, err := c.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p5"))
+	if _, err := c.WaitConverged(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p1")) // the coordinator: forces a reconfiguration
+	v, err := c.WaitConverged(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p1")) || v.Has(ids.Named("p5")) || !v.Has(ids.Named("q1")) {
+		t.Errorf("final view %v", v)
+	}
+	running := ids.NewSet(c.Running()...)
+	rep := check.Run(check.Input{
+		Recorder: c.Recorder(),
+		Initial:  ids.Gen(5),
+		Alive:    running.Has,
+	})
+	if !rep.OK() {
+		t.Errorf("TCP churn violates GMP:\n%v", rep)
+	}
+}
+
+// TestLossyClusterConverges boots the group over the adversarial datagram
+// link repaired by the alternating-bit channel layer and excludes a killed
+// member — the paper's §3 substrate claim, end-to-end under churn.
+func TestLossyClusterConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossy-link soak skipped in -short mode")
+	}
+	c := Start(Options{
+		N:              3,
+		HeartbeatEvery: 25 * time.Millisecond,
+		SuspectAfter:   250 * time.Millisecond,
+		Transport: transport.NewLossy(transport.LossyOptions{
+			Loss: 0.05, Dup: 0.02,
+			MinDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
+			RTO: 8 * time.Millisecond, Seed: 3,
+		}),
+	})
+	defer c.Stop()
+	if _, err := c.WaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p3"))
+	v, err := c.WaitConverged(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p3")) || v.Size() != 2 {
+		t.Errorf("view after kill over lossy link: %v", v)
+	}
+}
+
+// TestDroppedCountsOverflow overflows a 1-slot updates stream with nobody
+// draining it: the cluster must keep converging and account for every
+// install it could not publish.
+func TestDroppedCountsOverflow(t *testing.T) {
+	c := Start(Options{
+		N:              3,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+		UpdateBuffer:   1,
+	})
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p3"))
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Bootstrap installs v0 at 3 nodes and the exclusion installs v1 at
+	// 2 survivors: 5 installs into a 1-slot buffer nobody drains.
+	if got := c.Dropped(); got != 4 {
+		t.Errorf("Dropped() = %d, want 4 (5 installs, 1 buffered)", got)
+	}
+	if len(c.Updates()) != 1 {
+		t.Errorf("updates buffer holds %d, want 1", len(c.Updates()))
+	}
+}
+
+// TestDroppedZeroWhenDrained: a drained stream loses nothing.
+func TestDroppedZeroWhenDrained(t *testing.T) {
+	c := Start(Options{
+		N:              3,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+	})
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0", got)
+	}
+}

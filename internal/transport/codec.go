@@ -1,0 +1,98 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"procgroup/internal/core"
+)
+
+// Frame is the unit of the wire codec: one message on one directed
+// channel, self-contained so it can travel over a byte stream (TCP) or a
+// datagram link (Lossy) alike.
+type Frame struct {
+	From  string // ids.ProcID.String() of the sender
+	To    string // ids.ProcID.String() of the destination
+	MsgID int64
+	Body  any // a registered protocol payload
+}
+
+// maxFrame bounds a decoded frame; protocol messages are tiny (a view's
+// worth of identifiers at most), so anything near this is stream
+// corruption, not traffic.
+const maxFrame = 1 << 20
+
+// RegisterPayload makes a concrete payload type encodable inside a Frame.
+// The core vocabulary is pre-registered; substrate layers register their
+// own beacons (live registers Heartbeat).
+func RegisterPayload(v any) { gob.Register(v) }
+
+func init() {
+	for _, v := range []any{
+		core.Invite{}, core.OK{}, core.Commit{},
+		core.Interrogate{}, core.InterrogateOK{},
+		core.Propose{}, core.ProposeOK{}, core.ReconfCommit{},
+		core.FaultyReport{}, core.JoinRequest{}, core.StateTransfer{},
+	} {
+		RegisterPayload(v)
+	}
+}
+
+// EncodeFrame renders f as a self-contained gob blob (no stream state:
+// every frame re-carries its type wiring, which is what lets the lossy
+// transport drop frames without corrupting a shared decoder).
+func EncodeFrame(f Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("transport: encode frame: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeFrame parses a blob produced by EncodeFrame.
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
+		return Frame{}, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// WriteFrame writes f to w as a 4-byte big-endian length prefix followed
+// by the gob body.
+func WriteFrame(w io.Writer, f Frame) error {
+	body, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	if len(body) > maxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Frame{}, fmt.Errorf("transport: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(body)
+}

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"procgroup/internal/ids"
+)
+
+// Inmem is the in-process transport: Send invokes the destination handler
+// synchronously on the caller's goroutine. Because each sender issues its
+// sends sequentially, per-channel FIFO holds by construction — this is
+// exactly the mailbox-to-mailbox delivery the live runtime used before the
+// transport layer was extracted.
+type Inmem struct {
+	mu       sync.RWMutex
+	handlers map[ids.ProcID]Handler
+	closed   bool
+}
+
+// NewInmem builds an empty in-process transport.
+func NewInmem() *Inmem {
+	return &Inmem{handlers: make(map[ids.ProcID]Handler)}
+}
+
+// Register implements Transport.
+func (t *Inmem) Register(p ids.ProcID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: inmem is closed")
+	}
+	if _, dup := t.handlers[p]; dup {
+		return fmt.Errorf("transport: %v already registered", p)
+	}
+	t.handlers[p] = h
+	return nil
+}
+
+// Unregister implements Transport.
+func (t *Inmem) Unregister(p ids.ProcID) {
+	t.mu.Lock()
+	delete(t.handlers, p)
+	t.mu.Unlock()
+}
+
+// Send implements Transport. Unknown destinations drop the message.
+func (t *Inmem) Send(from, to ids.ProcID, m Message) {
+	t.mu.RLock()
+	h := t.handlers[to]
+	t.mu.RUnlock()
+	if h != nil {
+		h(from, m)
+	}
+}
+
+// Close implements Transport.
+func (t *Inmem) Close() error {
+	t.mu.Lock()
+	t.handlers = make(map[ids.ProcID]Handler)
+	t.closed = true
+	t.mu.Unlock()
+	return nil
+}

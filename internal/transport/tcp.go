@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+// TCP is the socket transport: every registered process owns a listener,
+// and every directed channel (from, to) is one length-prefixed gob stream
+// over its own connection, dialed lazily and redialed on failure. One
+// connection per channel is what makes the §2.1 FIFO property structural:
+// TCP orders bytes within a stream, and a single writer goroutine drains
+// each channel's queue in send order.
+//
+// Peers register locally (loopback clusters) or are introduced with
+// AddPeer (cross-host deployments). Sends to a peer that is unknown,
+// unreachable, or whose channel queue is saturated are dropped — the
+// failure detector owns liveness, the transport only moves bytes.
+type TCP struct {
+	host string
+
+	mu     sync.Mutex
+	addrs  map[ids.ProcID]string
+	locals map[ids.ProcID]*tcpEndpoint
+	chans  map[chanKey]*tcpChan
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// chanKey names one directed channel.
+type chanKey struct{ from, to ids.ProcID }
+
+// tcpEndpoint is one registered process's accepting side.
+type tcpEndpoint struct {
+	owner string // ids.ProcID.String() of the registered process
+	ln    net.Listener
+	h     Handler
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// tcpChan is one directed channel's sending side.
+type tcpChan struct {
+	q    chan Frame
+	stop chan struct{}
+}
+
+// tcpQueueDepth bounds a channel's outbound queue. Protocol traffic is a
+// handful of messages per view change; hitting this depth means the peer
+// is unreachable and the frames would be dropped at dial time anyway.
+const tcpQueueDepth = 1024
+
+// NewTCP builds a TCP transport whose listeners bind loopback.
+func NewTCP() *TCP { return NewTCPHost("127.0.0.1") }
+
+// NewTCPHost builds a TCP transport binding listeners on host.
+func NewTCPHost(host string) *TCP {
+	return &TCP{
+		host:   host,
+		addrs:  make(map[ids.ProcID]string),
+		locals: make(map[ids.ProcID]*tcpEndpoint),
+		chans:  make(map[chanKey]*tcpChan),
+	}
+}
+
+// AddPeer introduces a remote process reachable at addr, for deployments
+// where the group spans OS processes or hosts.
+func (t *TCP) AddPeer(p ids.ProcID, addr string) {
+	t.mu.Lock()
+	t.addrs[p] = addr
+	t.mu.Unlock()
+}
+
+// Addr reports the listen address of a registered process, for handing to
+// AddPeer on other transports.
+func (t *TCP) Addr(p ids.ProcID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	a, ok := t.addrs[p]
+	return a, ok
+}
+
+// Register implements Transport: it opens p's listener and starts its
+// accept loop.
+func (t *TCP) Register(p ids.ProcID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: tcp is closed")
+	}
+	if _, dup := t.locals[p]; dup {
+		return fmt.Errorf("transport: %v already registered", p)
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(t.host, "0"))
+	if err != nil {
+		return fmt.Errorf("transport: listen for %v: %w", p, err)
+	}
+	ep := &tcpEndpoint{owner: p.String(), ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	t.locals[p] = ep
+	t.addrs[p] = ln.Addr().String()
+	t.wg.Add(1)
+	go t.accept(ep)
+	return nil
+}
+
+// Unregister implements Transport: p's listener and accepted connections
+// close, so peers dialing it fail and drop, like a dead host.
+func (t *TCP) Unregister(p ids.ProcID) {
+	t.mu.Lock()
+	ep, ok := t.locals[p]
+	if ok {
+		delete(t.locals, p)
+	}
+	// The stale address stays in addrs: dials to it now fail, which is
+	// exactly the dead-host behavior senders must see.
+	var drop []*tcpChan
+	for k, ch := range t.chans {
+		if k.from == p {
+			drop = append(drop, ch)
+			delete(t.chans, k)
+		}
+	}
+	t.mu.Unlock()
+	if ok {
+		ep.shutdown()
+	}
+	for _, ch := range drop {
+		close(ch.stop)
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(from, to ids.ProcID, m Message) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	k := chanKey{from, to}
+	ch, ok := t.chans[k]
+	if !ok {
+		ch = &tcpChan{q: make(chan Frame, tcpQueueDepth), stop: make(chan struct{})}
+		t.chans[k] = ch
+		t.wg.Add(1)
+		go t.write(ch, to)
+	}
+	t.mu.Unlock()
+	f := Frame{From: from.String(), To: to.String(), MsgID: m.MsgID, Body: m.Payload}
+	select {
+	case ch.q <- f:
+	default: // peer unreachable long enough to fill the queue: datagram loss
+	}
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	eps := make([]*tcpEndpoint, 0, len(t.locals))
+	for _, ep := range t.locals {
+		eps = append(eps, ep)
+	}
+	t.locals = make(map[ids.ProcID]*tcpEndpoint)
+	chs := make([]*tcpChan, 0, len(t.chans))
+	for _, ch := range t.chans {
+		chs = append(chs, ch)
+	}
+	t.chans = make(map[chanKey]*tcpChan)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	for _, ch := range chs {
+		close(ch.stop)
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// accept runs one endpoint's accept loop.
+func (t *TCP) accept(ep *tcpEndpoint) {
+	defer t.wg.Done()
+	for {
+		c, err := ep.ln.Accept()
+		if err != nil {
+			return // listener closed by shutdown
+		}
+		if !ep.track(c) {
+			c.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.read(ep, c)
+	}
+}
+
+// read drains one accepted connection, handing each frame to the
+// endpoint's handler in stream order.
+func (t *TCP) read(ep *tcpEndpoint, c net.Conn) {
+	defer t.wg.Done()
+	defer ep.untrack(c)
+	for {
+		f, err := ReadFrame(c)
+		if err != nil {
+			return // EOF on peer close, or corruption: abandon the stream
+		}
+		if f.To != ep.owner {
+			// Addressed to a different process: the OS reused a dead
+			// process's ephemeral port for this endpoint and a sender is
+			// still dialing the stale address. Those datagrams are lost,
+			// not misdelivered.
+			continue
+		}
+		from, err := ids.Parse(f.From)
+		if err != nil {
+			continue
+		}
+		ep.h(from, Message{MsgID: f.MsgID, Payload: f.Body})
+	}
+}
+
+// write drains one directed channel's queue over a lazily-dialed
+// connection, redialing once per frame on failure.
+func (t *TCP) write(ch *tcpChan, to ids.ProcID) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-ch.stop:
+			return
+		case f := <-ch.q:
+			for attempt := 0; attempt < 2; attempt++ {
+				if conn == nil {
+					t.mu.Lock()
+					addr, ok := t.addrs[to]
+					t.mu.Unlock()
+					if !ok {
+						break // unknown peer: drop
+					}
+					c, err := net.DialTimeout("tcp", addr, time.Second)
+					if err != nil {
+						break // unreachable: drop, redial on next frame
+					}
+					conn = c
+				}
+				if err := WriteFrame(conn, f); err != nil {
+					conn.Close()
+					conn = nil
+					continue // one reconnect attempt for this frame
+				}
+				break
+			}
+		}
+	}
+}
+
+func (ep *tcpEndpoint) track(c net.Conn) bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.done {
+		return false
+	}
+	ep.conns[c] = struct{}{}
+	return true
+}
+
+func (ep *tcpEndpoint) untrack(c net.Conn) {
+	ep.mu.Lock()
+	delete(ep.conns, c)
+	ep.mu.Unlock()
+	c.Close()
+}
+
+func (ep *tcpEndpoint) shutdown() {
+	ep.mu.Lock()
+	ep.done = true
+	conns := make([]net.Conn, 0, len(ep.conns))
+	for c := range ep.conns {
+		conns = append(conns, c)
+	}
+	ep.conns = make(map[net.Conn]struct{})
+	ep.mu.Unlock()
+	ep.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}

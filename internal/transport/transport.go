@@ -1,0 +1,56 @@
+// Package transport is the pluggable message substrate of the live runtime:
+// it moves protocol payloads between registered processes while preserving
+// the per-channel FIFO order the paper's model assumes (§2.1). The live
+// cluster speaks only this interface; the concrete implementations are
+//
+//   - Inmem: direct in-process delivery, the seed's original behavior and
+//     the default for tests and single-process deployments,
+//   - TCP: real sockets on loopback or a LAN, one length-prefixed gob
+//     stream per directed channel, with reconnect,
+//   - Lossy: an adversarial datagram link (loss, duplication, delay)
+//     repaired by the alternating-bit protocol of internal/channel — the
+//     paper's §3 claim that reliable FIFO channels are implementable
+//     rather than assumed, demonstrated end-to-end.
+package transport
+
+import "procgroup/internal/ids"
+
+// Message is one transport-level datagram: a protocol payload plus the
+// trace-correlation id assigned by the sender (0 marks unrecorded
+// substrate traffic such as heartbeats).
+type Message struct {
+	MsgID   int64
+	Payload any
+}
+
+// Handler consumes messages delivered to a registered process. Transports
+// call handlers from their own delivery goroutines, one message at a time
+// per channel; handlers must not block (the live runtime's handlers only
+// append to an unbounded mailbox).
+type Handler func(from ids.ProcID, m Message)
+
+// Transport moves messages between registered processes.
+//
+// Semantics shared by every implementation:
+//
+//   - Send is asynchronous and never blocks the caller on the network.
+//   - Messages on one directed channel (from, to) are delivered in send
+//     order — the reliable-FIFO channel property of §2.1.
+//   - A send to an unregistered (or unreachable) process is silently
+//     dropped, exactly like a datagram to a dead host; the failure
+//     detector, not the transport, is responsible for noticing silence.
+//   - Close tears the whole substrate down; all subsequent operations are
+//     no-ops.
+type Transport interface {
+	// Register attaches a process and its delivery handler. It returns an
+	// error if the transport is closed, the id is already registered, or
+	// (for socket transports) the endpoint cannot be opened.
+	Register(p ids.ProcID, h Handler) error
+	// Unregister detaches p: its endpoint stops accepting and later sends
+	// to it are dropped. Unregistering an unknown id is a no-op.
+	Unregister(p ids.ProcID)
+	// Send transmits m on the directed channel from → to.
+	Send(from, to ids.ProcID, m Message)
+	// Close shuts the transport down and releases its resources.
+	Close() error
+}

@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"procgroup/internal/core"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// sink collects delivered messages for one registered process.
+type sink struct {
+	mu   sync.Mutex
+	got  []Message
+	from []ids.ProcID
+}
+
+func (s *sink) handler(from ids.ProcID, m Message) {
+	s.mu.Lock()
+	s.got = append(s.got, m)
+	s.from = append(s.from, from)
+	s.mu.Unlock()
+}
+
+func (s *sink) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.got)
+}
+
+func (s *sink) msg(i int) Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.got[i]
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// fifoPayload is a minimal registered payload for ordering tests.
+type fifoPayload struct{ N int }
+
+func init() { RegisterPayload(fifoPayload{}) }
+
+// checkFIFO sends n messages on one channel and asserts ordered,
+// exactly-once delivery — the §2.1 channel property every Transport must
+// provide.
+func checkFIFO(t *testing.T, tr Transport, n int, wait time.Duration) {
+	t.Helper()
+	a, b := ids.Named("a"), ids.Named("b")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		tr.Send(a, b, Message{MsgID: int64(i + 1), Payload: fifoPayload{N: i}})
+	}
+	waitFor(t, wait, func() bool { return s.len() >= n }, "all messages")
+	if s.len() != n {
+		t.Fatalf("delivered %d messages, want exactly %d", s.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		m := s.msg(i)
+		if m.MsgID != int64(i+1) {
+			t.Fatalf("position %d: got MsgID %d — FIFO violated", i, m.MsgID)
+		}
+		if p, ok := m.Payload.(fifoPayload); !ok || p.N != i {
+			t.Fatalf("position %d: payload %#v", i, m.Payload)
+		}
+	}
+}
+
+func TestInmemFIFO(t *testing.T) {
+	tr := NewInmem()
+	defer tr.Close()
+	checkFIFO(t, tr, 500, 2*time.Second)
+}
+
+func TestTCPFIFO(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	checkFIFO(t, tr, 500, 10*time.Second)
+}
+
+// TestLossyFIFO is the §3 demonstration in miniature: the link loses,
+// duplicates and delays datagrams, and the alternating-bit layer must
+// still deliver every payload exactly once, in order.
+func TestLossyFIFO(t *testing.T) {
+	tr := NewLossy(LossyOptions{
+		Loss: 0.15, Dup: 0.1,
+		MinDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond,
+		RTO: 6 * time.Millisecond, Seed: 7,
+	})
+	defer tr.Close()
+	checkFIFO(t, tr, 120, 30*time.Second)
+}
+
+// TestSendToUnknownIsDropped: datagrams to unregistered ids vanish
+// silently on every implementation.
+func TestSendToUnknownIsDropped(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Transport
+	}{
+		{"inmem", NewInmem()},
+		{"tcp", NewTCP()},
+		{"lossy", NewLossy(LossyOptions{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer tc.tr.Close()
+			a := ids.Named("a")
+			if err := tc.tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+				t.Fatal(err)
+			}
+			tc.tr.Send(a, ids.Named("ghost"), Message{MsgID: 1, Payload: fifoPayload{}})
+		})
+	}
+}
+
+// TestDuplicateRegistrationFails on every implementation.
+func TestDuplicateRegistrationFails(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Transport
+	}{
+		{"inmem", NewInmem()},
+		{"tcp", NewTCP()},
+		{"lossy", NewLossy(LossyOptions{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer tc.tr.Close()
+			a := ids.Named("a")
+			if err := tc.tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.tr.Register(a, func(ids.ProcID, Message) {}); err == nil {
+				t.Fatal("duplicate registration accepted")
+			}
+		})
+	}
+}
+
+// TestTCPUnregisterDropsThenReconnect: killing an endpoint makes sends to
+// it vanish like datagrams to a dead host, and a later re-registration
+// (fresh port) is reachable again through the per-frame redial.
+func TestTCPUnregisterDropsThenReconnect(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{N: 1}})
+	waitFor(t, 5*time.Second, func() bool { return s.len() == 1 }, "first delivery")
+
+	tr.Unregister(b)
+	// These race the writer noticing the endpoint died; they must be
+	// dropped or fail quietly, never panic or wedge.
+	for i := 0; i < 10; i++ {
+		tr.Send(a, b, Message{MsgID: 2, Payload: fifoPayload{N: 2}})
+	}
+
+	var s2 sink
+	if err := tr.Register(b, s2.handler); err != nil {
+		t.Fatal(err)
+	}
+	// The writer holds a dead connection and drops one frame discovering
+	// it; keep sending until one lands on the new endpoint.
+	waitFor(t, 10*time.Second, func() bool {
+		tr.Send(a, b, Message{MsgID: 3, Payload: fifoPayload{N: 3}})
+		return s2.len() > 0
+	}, "redelivery after re-register")
+}
+
+// TestTCPHeartbeatStyleTraffic mixes protocol payloads with MsgID-0
+// beacons, as the live runtime does.
+func TestTCPHeartbeatStyleTraffic(t *testing.T) {
+	RegisterPayload(beacon{})
+	tr := NewTCP()
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Send(a, b, Message{MsgID: 0, Payload: beacon{}})
+		tr.Send(a, b, Message{MsgID: int64(i + 1), Payload: core.OK{Ver: member.Version(i)}})
+	}
+	waitFor(t, 10*time.Second, func() bool { return s.len() == 40 }, "all traffic")
+}
+
+type beacon struct{}
+
+// TestCloseIsIdempotent on every implementation.
+func TestCloseIsIdempotent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   Transport
+	}{
+		{"inmem", NewInmem()},
+		{"tcp", NewTCP()},
+		{"lossy", NewLossy(LossyOptions{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := ids.Named("a")
+			if err := tc.tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+				t.Fatal(err)
+			}
+			tc.tr.Close()
+			tc.tr.Close()
+			if err := tc.tr.Register(a, func(ids.ProcID, Message) {}); err == nil {
+				t.Fatal("registration accepted after Close")
+			}
+			tc.tr.Send(a, a, Message{MsgID: 1, Payload: fifoPayload{}}) // must not panic
+		})
+	}
+}
+
+// TestTCPMisaddressedFrameDropped: an endpoint must drop frames whose To
+// is a different process — the port-reuse hazard: after a process dies,
+// the OS can hand its ephemeral port to a newly registered one while
+// senders still dial the stale address.
+func TestTCPMisaddressedFrameDropped(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	b := ids.Named("b")
+	var s sink
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := tr.Addr(b)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A frame addressed to a dead process whose port b inherited.
+	if err := WriteFrame(conn, Frame{From: "a", To: "dead", MsgID: 1, Body: fifoPayload{N: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A correctly addressed frame on the same stream.
+	if err := WriteFrame(conn, Frame{From: "a", To: "b", MsgID: 2, Body: fifoPayload{N: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return s.len() >= 1 }, "the addressed frame")
+	if s.len() != 1 || s.msg(0).MsgID != 2 {
+		t.Fatalf("got %d deliveries, first MsgID %d; want only the frame addressed to b", s.len(), s.msg(0).MsgID)
+	}
+}
+
+// TestLossyInvertedDelayBoundsDoNotPanic: MaxDelay below MinDelay must be
+// clamped, not passed through to a negative randomness span.
+func TestLossyInvertedDelayBoundsDoNotPanic(t *testing.T) {
+	tr := NewLossy(LossyOptions{
+		MinDelay: 10 * time.Millisecond,
+		MaxDelay: 5 * time.Millisecond,
+		Loss:     0.01, Dup: 0.01,
+	})
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{N: 1}})
+	waitFor(t, 10*time.Second, func() bool { return s.len() == 1 }, "delivery with clamped bounds")
+}

@@ -29,6 +29,7 @@ import (
 	"procgroup/internal/live"
 	"procgroup/internal/member"
 	"procgroup/internal/scenario"
+	"procgroup/internal/transport"
 )
 
 // Re-exported identity and membership types.
@@ -57,7 +58,32 @@ type (
 	Group = live.Cluster
 	// Sim is a deterministic simulated process group.
 	Sim = scenario.Cluster
+	// Transport is the pluggable live-message substrate; set it on
+	// GroupOptions.Transport to choose how the group's channels are
+	// realized (nil = in-process delivery).
+	Transport = transport.Transport
+	// TCPTransport runs the group's channels over real TCP sockets.
+	TCPTransport = transport.TCP
+	// LossyTransportOptions shapes the adversarial datagram link of
+	// NewLossyTransport.
+	LossyTransportOptions = transport.LossyOptions
 )
+
+// NewInmemTransport builds the default in-process transport explicitly
+// (StartGroup uses one automatically when GroupOptions.Transport is nil).
+func NewInmemTransport() Transport { return transport.NewInmem() }
+
+// NewTCPTransport builds a transport running every group channel over its
+// own TCP connection on loopback — the paper's asynchronous network of
+// reliable FIFO channels (§2.1) realized with real sockets. Use the
+// returned value's AddPeer/Addr to span OS processes or hosts.
+func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
+
+// NewLossyTransport builds a transport whose links lose, duplicate and
+// delay datagrams, repaired per channel by the alternating-bit protocol —
+// the §3 claim that the reliable-FIFO channel assumption is implementable,
+// demonstrated under the live cluster.
+func NewLossyTransport(opts LossyTransportOptions) Transport { return transport.NewLossy(opts) }
 
 // Named returns the incarnation-0 identifier for a site name.
 func Named(site string) ProcID { return ids.Named(site) }

@@ -32,7 +32,12 @@ type AgreedView struct {
 
 // Watch starts consuming the group's update stream. The watcher owns the
 // stream until Close; emitted views arrive on Views() in version order.
-func Watch(g *Group) *ViewWatcher {
+func Watch(g *Group) *ViewWatcher { return WatchUpdates(g.Updates()) }
+
+// WatchUpdates builds a watcher over any install stream — a live group's
+// Updates(), or a merged stream from several sources. The watcher drains
+// updates until the channel closes or Close is called.
+func WatchUpdates(updates <-chan ViewUpdate) *ViewWatcher {
 	w := &ViewWatcher{
 		seen:    make(map[member.Version][]ids.ProcID),
 		highest: -1,
@@ -40,18 +45,18 @@ func Watch(g *Group) *ViewWatcher {
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	go w.run(g)
+	go w.run(updates)
 	return w
 }
 
-func (w *ViewWatcher) run(g *Group) {
+func (w *ViewWatcher) run(updates <-chan ViewUpdate) {
 	defer close(w.done)
 	defer close(w.out)
 	for {
 		select {
 		case <-w.stop:
 			return
-		case u, ok := <-g.Updates():
+		case u, ok := <-updates:
 			if !ok {
 				return
 			}

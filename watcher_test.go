@@ -1,6 +1,8 @@
 package procgroup_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -67,5 +69,140 @@ func TestViewWatcherCloseIsSafe(t *testing.T) {
 		// Draining remaining buffered views is fine; eventually closes.
 		for range w.Views() {
 		}
+	}
+}
+
+// members returns the deterministic membership every process reports for
+// version v — per GMP-2/GMP-3 all processes report identical composition,
+// which is what the watcher's first-report-wins dedup relies on.
+func membersFor(v int) []procgroup.ProcID {
+	return procgroup.Processes(v%5 + 1)
+}
+
+// TestWatchUpdatesConcurrentInstallStreams merges per-process install
+// streams produced by concurrent goroutines — each process reporting every
+// version in its own order of progress — and asserts the watcher condenses
+// them to exactly one emission per version with the agreed composition.
+func TestWatchUpdatesConcurrentInstallStreams(t *testing.T) {
+	const procs, views = 8, 40
+	updates := make(chan procgroup.ViewUpdate, 16)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := procgroup.Named(fmt.Sprintf("p%d", p+1))
+			for v := 0; v < views; v++ {
+				updates <- procgroup.ViewUpdate{Proc: id, Ver: procgroup.Version(v), Members: membersFor(v)}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(updates)
+	}()
+
+	w := procgroup.WatchUpdates(updates)
+	defer w.Close()
+	emitted := make(map[procgroup.Version]int)
+	for av := range w.Views() {
+		emitted[av.Ver]++
+		if want := membersFor(int(av.Ver)); len(av.Members) != len(want) {
+			t.Errorf("v%d emitted with %d members, want %d", av.Ver, len(av.Members), len(want))
+		}
+	}
+	if len(emitted) != views {
+		t.Errorf("emitted %d distinct versions, want %d", len(emitted), views)
+	}
+	for v, n := range emitted {
+		if n != 1 {
+			t.Errorf("v%d emitted %d times, want exactly once", v, n)
+		}
+	}
+	if cur, ok := w.Current(); !ok || cur.Ver != views-1 {
+		t.Errorf("Current = %+v, want v%d", cur, views-1)
+	}
+}
+
+// TestWatchUpdatesOutOfOrderAndDuplicates feeds first reports out of
+// version order with duplicates interleaved: every version is emitted once
+// on its first report, duplicates never re-emit, and Current tracks the
+// highest version seen rather than the latest arrival.
+func TestWatchUpdatesOutOfOrderAndDuplicates(t *testing.T) {
+	updates := make(chan procgroup.ViewUpdate)
+	w := procgroup.WatchUpdates(updates)
+	defer w.Close()
+
+	feed := []procgroup.Version{5, 3, 5, 4, 3, 6, 4, 5}
+	for _, v := range feed {
+		updates <- procgroup.ViewUpdate{Proc: procgroup.Named("p1"), Ver: v, Members: membersFor(int(v))}
+	}
+	close(updates)
+
+	var got []procgroup.Version
+	for av := range w.Views() {
+		got = append(got, av.Ver)
+	}
+	want := []procgroup.Version{5, 3, 4, 6} // first-report order, deduped
+	if len(got) != len(want) {
+		t.Fatalf("emitted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("emitted %v, want %v", got, want)
+		}
+	}
+	if cur, ok := w.Current(); !ok || cur.Ver != 6 {
+		t.Errorf("Current = %+v, want v6", cur)
+	}
+}
+
+// TestWatchUpdatesCloseWhileSending closes the watcher while producers are
+// still hammering the stream (with the same non-blocking send the live
+// cluster uses) and while the emission buffer is saturated with no reader:
+// Close must return promptly in both regimes.
+func TestWatchUpdatesCloseWhileSending(t *testing.T) {
+	updates := make(chan procgroup.ViewUpdate, 1)
+	w := procgroup.WatchUpdates(updates)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := procgroup.Named(fmt.Sprintf("p%d", p+1))
+			for v := 0; ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Non-blocking, like Cluster.RecordInstall's publish.
+				select {
+				case updates <- procgroup.ViewUpdate{Proc: id, Ver: procgroup.Version(v % 500), Members: membersFor(v)}:
+				default:
+				}
+			}
+		}(p)
+	}
+
+	// Let the 64-slot Views buffer fill with nobody draining, so ingest
+	// is blocked on emission when Close arrives.
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		w.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked while senders were active")
+	}
+	close(stop)
+	wg.Wait()
+	// The stream must be closed (after draining any buffered emissions).
+	for range w.Views() {
 	}
 }
