@@ -5,8 +5,10 @@
 //
 //	gmpbench              # run everything
 //	gmpbench -exp table1  # one experiment: table1, complexity, worstcase,
-//	                      # figures, claims, churn, cuts, ablation
+//	                      # figures, claims, churn, cuts, ablation, transport
 //	gmpbench -seed 7      # change the schedule seed
+//	gmpbench -exp transport -transport-out BENCH_transport.json
+//	                      # E15 wire-path microbenches, machine-readable
 package main
 
 import (
@@ -20,8 +22,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport")
 	seed := flag.Int64("seed", 1, "schedule seed")
+	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
 	flag.Parse()
 
 	run := func(name string, fn func(int64)) {
@@ -38,6 +41,7 @@ func main() {
 	run("churn", churn)
 	run("cuts", cuts)
 	run("ablation", ablation)
+	run("transport", transportPerf)
 }
 
 func tw() *tabwriter.Writer {

@@ -28,7 +28,14 @@ type Heartbeat struct{}
 // MsgLabel implements netsim.Labeled for uniform counting.
 func (Heartbeat) MsgLabel() string { return "Heartbeat" }
 
-func init() { transport.RegisterPayload(Heartbeat{}) }
+// heartbeatKind is the beacon's wire kind tag (kinds ≥ 16 belong to
+// substrate layers; see the transport codec's registry).
+const heartbeatKind = 16
+
+func init() {
+	transport.RegisterPayload(Heartbeat{})                      // gob escape hatch
+	transport.RegisterBeaconPayload(heartbeatKind, Heartbeat{}) // zero-alloc wire fast path
+}
 
 // Options configures a live cluster.
 type Options struct {
@@ -69,9 +76,13 @@ type Cluster struct {
 	mu      sync.Mutex
 	nodes   map[ids.ProcID]*liveNode
 	updates chan ViewUpdate
-	start   time.Time
-	wg      sync.WaitGroup
-	stopped bool
+	// installed pulses (capacity 1) whenever any node installs a view or
+	// the running set changes, so convergence waiters wake on the event
+	// instead of polling.
+	installed chan struct{}
+	start     time.Time
+	wg        sync.WaitGroup
+	stopped   bool
 }
 
 // liveNode is one process: a core.Node driven by a goroutine event loop.
@@ -84,7 +95,9 @@ type liveNode struct {
 
 	// loop-owned state (never touched outside the event loop):
 	node     *core.Node
-	lastSeen map[ids.ProcID]time.Time
+	peers    []ids.ProcID             // current view minus self, refreshed per install
+	lastSeen map[ids.ProcID]time.Time // last traffic received per peer (F1 input)
+	lastSent map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
 }
 
 // Start boots a cluster of opts.N processes and waits until every node has
@@ -115,11 +128,12 @@ func Start(opts Options) *Cluster {
 	}
 
 	c := &Cluster{
-		opts:    opts,
-		tr:      opts.Transport,
-		nodes:   make(map[ids.ProcID]*liveNode, opts.N),
-		updates: make(chan ViewUpdate, opts.UpdateBuffer),
-		start:   time.Now(),
+		opts:      opts,
+		tr:        opts.Transport,
+		nodes:     make(map[ids.ProcID]*liveNode, opts.N),
+		updates:   make(chan ViewUpdate, opts.UpdateBuffer),
+		installed: make(chan struct{}, 1),
+		start:     time.Now(),
 	}
 	c.rec = trace.NewRecorder(func() int64 { return int64(time.Since(c.start) / time.Microsecond) })
 
@@ -150,6 +164,7 @@ func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		lastSeen: make(map[ids.ProcID]time.Time),
+		lastSent: make(map[ids.ProcID]time.Time),
 	}
 	ln.node = core.New(p, (*liveEnv)(ln), cfg)
 	if err := c.tr.Register(p, ln.deliver); err != nil {
@@ -213,19 +228,23 @@ func (ln *liveNode) dispatch(e envelope) {
 	ln.node.Deliver(e.from, e.payload)
 }
 
-// beat sends heartbeats to every current view member and raises suspicions
-// for members silent past the threshold (F1).
+// beat is one pass of the node's liveness wheel: a single per-node ticker
+// drives beacons and suspicion for the whole membership — there are no
+// per-peer timers. Heartbeats piggyback on protocol traffic: any frame
+// sent to a peer within the last beacon interval already proved this node
+// alive (a send IS a beacon, and every receive refreshes lastSeen on the
+// far side), so a pure beacon goes out only on channels that have been
+// silent. Members silent past the threshold are suspected (F1, §2.2).
 func (ln *liveNode) beat() {
-	v := ln.node.View()
-	if v == nil {
+	if len(ln.peers) == 0 {
 		return
 	}
 	now := time.Now()
-	for _, m := range v.Members() {
-		if m == ln.id {
-			continue
+	for _, m := range ln.peers {
+		if sent, ok := ln.lastSent[m]; !ok || now.Sub(sent) >= ln.c.opts.HeartbeatEvery {
+			ln.c.post(ln.id, m, 0, Heartbeat{})
+			ln.lastSent[m] = now
 		}
-		ln.c.post(ln.id, m, 0, Heartbeat{})
 		seen, ok := ln.lastSeen[m]
 		if !ok {
 			ln.lastSeen[m] = now
@@ -254,6 +273,7 @@ func (e *liveEnv) Send(to ids.ProcID, payload any) {
 	ln := (*liveNode)(e)
 	id := msgID(ln.c)
 	ln.c.rec.RecordSend(ln.id, to, id, labelOf(payload))
+	ln.lastSent[to] = time.Now() // a protocol send doubles as a beacon
 	ln.c.post(ln.id, to, id, payload)
 }
 
@@ -304,6 +324,27 @@ func (e *liveEnv) Record(k event.Kind, other ids.ProcID) {
 
 func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln := (*liveNode)(e)
+	// Refresh the liveness wheel's peer snapshot (loop-owned), dropping
+	// tracking state for processes no longer in the view.
+	peers := make([]ids.ProcID, 0, len(members))
+	current := make(map[ids.ProcID]bool, len(members))
+	for _, m := range members {
+		current[m] = true
+		if m != ln.id {
+			peers = append(peers, m)
+		}
+	}
+	ln.peers = peers
+	for q := range ln.lastSeen {
+		if !current[q] {
+			delete(ln.lastSeen, q)
+		}
+	}
+	for q := range ln.lastSent {
+		if !current[q] {
+			delete(ln.lastSent, q)
+		}
+	}
 	ln.c.rec.RecordInstall(ln.id, ver, members)
 	upd := ViewUpdate{Proc: ln.id, Ver: ver, Members: members}
 	select {
@@ -312,6 +353,15 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 		// Subscriber too slow: drop rather than wedge the protocol, but
 		// leave the loss observable.
 		ln.c.dropped.Add(1)
+	}
+	ln.c.pulse()
+}
+
+// pulse wakes convergence waiters; it never blocks.
+func (c *Cluster) pulse() {
+	select {
+	case c.installed <- struct{}{}:
+	default:
 	}
 }
 
@@ -327,6 +377,7 @@ func (c *Cluster) unregister(p ids.ProcID) {
 	if ok {
 		c.tr.Unregister(p)
 		ln.box.close()
+		c.pulse() // the running set changed
 	}
 }
 
@@ -339,6 +390,12 @@ func (c *Cluster) Updates() <-chan ViewUpdate { return c.updates }
 // was full. A nonzero count means subscribers fell behind by more than
 // Options.UpdateBuffer installs.
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// TransportStats reports the substrate's per-reason drop counters —
+// Dropped's sibling one layer down: Dropped counts view updates lost to a
+// slow subscriber, TransportStats counts wire frames lost to saturation,
+// unknown peers, or dead hosts.
+func (c *Cluster) TransportStats() transport.Stats { return c.tr.Stats() }
 
 // Transport exposes the cluster's message substrate (for tests and tools
 // that need endpoint addresses, e.g. TCP peer directories).
@@ -363,6 +420,7 @@ func (c *Cluster) Kill(p ids.ProcID) {
 	close(ln.stop)
 	ln.box.close()
 	<-ln.done
+	c.pulse() // the running set changed
 }
 
 // Join spawns a new process that asks contact to sponsor it into the group.
@@ -424,20 +482,30 @@ func (c *Cluster) Running() []ids.ProcID {
 	return s.Sorted()
 }
 
-// WaitConverged polls until every running process reports the same view
+// WaitConverged blocks until every running process reports the same view
 // and that view's membership equals the running set, or the deadline
-// passes. It returns the converged view or an error.
+// passes. It returns the converged view or an error. Waiting is
+// event-driven — each view install wakes the check — so convergence is
+// observed when it happens, not at the next poll; a coarse ticker backs
+// the pulse up against running-set changes that install nothing.
 func (c *Cluster) WaitConverged(timeout time.Duration) (*member.View, error) {
-	deadline := time.Now().Add(timeout)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	// The pulse channel carries the latency-sensitive wakeups; the ticker
+	// is only a coarse backstop, so it stays cheap under long waits.
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		v, err := c.converged()
 		if err == nil {
 			return v, nil
 		}
-		if time.Now().After(deadline) {
+		select {
+		case <-deadline.C:
 			return nil, fmt.Errorf("live: not converged after %v: %w", timeout, err)
+		case <-c.installed:
+		case <-tick.C:
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -143,3 +143,52 @@ func TestDroppedZeroWhenDrained(t *testing.T) {
 		t.Errorf("Dropped() = %d, want 0", got)
 	}
 }
+
+// TestTransportStatsSurfaceDrops: killing a member makes the survivors'
+// beacons to it fail at the wire, and the cluster surfaces those drops
+// with their reason through TransportStats — distinguishable from
+// congestion, which Dropped()'s update-stream counter never was.
+func TestTransportStatsSurfaceDrops(t *testing.T) {
+	c := Start(tcpFast(3))
+	defer c.Stop()
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TransportStats().Dropped(); got != 0 {
+		t.Errorf("healthy cluster dropped %d frames (%+v)", got, c.TransportStats())
+	}
+	c.Kill(ids.Named("p3"))
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Between the kill and the exclusion, survivors kept beaconing the
+	// dead endpoint; those frames must land in a dead-host bucket, not
+	// vanish uncounted or masquerade as saturation.
+	st := c.TransportStats()
+	if st.DialFailed+st.UnknownPeer+st.WriteFailed == 0 {
+		t.Errorf("no dead-host drops recorded after a kill: %+v", st)
+	}
+	if st.QueueSaturated != 0 {
+		t.Errorf("dead-host drops misfiled as saturation: %+v", st)
+	}
+}
+
+// TestHeartbeatGoldenWireFormat pins the beacon's kind tag and layout:
+// the zero-allocation fast path depends on this exact encoding.
+func TestHeartbeatGoldenWireFormat(t *testing.T) {
+	blob, err := transport.EncodeFrame(transport.Frame{From: "p1", To: "p2", Body: Heartbeat{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{heartbeatKind, 2, 'p', '1', 2, 'p', '2', 0, 0}
+	if string(blob) != string(want) {
+		t.Errorf("heartbeat wire bytes %x, want %x", blob, want)
+	}
+	f, err := transport.DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Body.(Heartbeat); !ok {
+		t.Errorf("heartbeat decoded to %T", f.Body)
+	}
+}

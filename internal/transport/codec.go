@@ -6,8 +6,13 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
+	"reflect"
+	"sync"
 
 	"procgroup/internal/core"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
 )
 
 // Frame is the unit of the wire codec: one message on one directed
@@ -16,6 +21,7 @@ import (
 type Frame struct {
 	From  string // ids.ProcID.String() of the sender
 	To    string // ids.ProcID.String() of the destination
+	Seq   uint64 // per-channel mux sequence (0 = unsequenced, e.g. beacons)
 	MsgID int64
 	Body  any // a registered protocol payload
 }
@@ -25,9 +31,42 @@ type Frame struct {
 // corruption, not traffic.
 const maxFrame = 1 << 20
 
-// RegisterPayload makes a concrete payload type encodable inside a Frame.
-// The core vocabulary is pre-registered; substrate layers register their
-// own beacons (live registers Heartbeat).
+// Wire format (the 4-byte big-endian length prefix of WriteFrame/ReadFrame
+// is outside this layout):
+//
+//	byte 0:  payload kind tag
+//	kind 0:  the rest is a self-contained gob blob of the whole Frame —
+//	         the escape hatch for payload types with no binary codec.
+//	kind>0:  uvarint-len From | uvarint-len To | uvarint Seq |
+//	         varint MsgID | kind-specific payload fields
+//
+// Strings are uvarint length + raw bytes; process identifiers inside
+// payloads are Site string + uvarint incarnation; versions and MsgIDs are
+// zigzag varints; slices are uvarint count + elements (count 0 decodes to
+// nil). The golden-bytes test in codec_test.go pins this layout.
+const (
+	kindGob byte = iota // gob escape hatch
+	kindInvite
+	kindOK
+	kindCommit
+	kindInterrogate
+	kindInterrogateOK
+	kindPropose
+	kindProposeOK
+	kindReconfCommit
+	kindFaultyReport
+	kindJoinRequest
+	kindStateTransfer
+	kindMuxHello // transport-internal: announces a mux connection's pair
+)
+
+// Substrate layers register their own payloads at kinds ≥ 16; 0–15 are
+// reserved for the closed core vocabulary and transport bookkeeping.
+
+// RegisterPayload makes a concrete payload type encodable inside a Frame
+// through the kind-0 gob escape hatch. The core vocabulary additionally
+// has hand-rolled binary codecs (below); payload types registered only
+// here still travel, paying the gob tax per frame.
 func RegisterPayload(v any) { gob.Register(v) }
 
 func init() {
@@ -41,58 +80,598 @@ func init() {
 	}
 }
 
-// EncodeFrame renders f as a self-contained gob blob (no stream state:
-// every frame re-carries its type wiring, which is what lets the lossy
-// transport drop frames without corrupting a shared decoder).
+// --- Binary payload registry -------------------------------------------------
+
+// payloadCodec is one registered payload type's binary wiring.
+type payloadCodec struct {
+	kind  byte
+	typ   reflect.Type
+	empty bool // fieldless payload: decode returns proto, zero allocations
+	// beacon marks idempotent liveness signals (heartbeats): they are
+	// exempt from per-channel mux sequencing (Seq stays 0), their encoded
+	// bytes are cacheable per channel, and queued duplicates coalesce.
+	beacon bool
+	proto  any
+	enc    func(*Encoder, any)
+	dec    func(*Decoder) any
+}
+
+var binReg = struct {
+	sync.RWMutex
+	byKind [256]*payloadCodec
+	byType map[reflect.Type]*payloadCodec
+}{byType: make(map[reflect.Type]*payloadCodec)}
+
+func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any, empty, beacon bool) {
+	if kind == kindGob {
+		panic("transport: kind 0 is the gob escape hatch")
+	}
+	c := &payloadCodec{kind: kind, typ: reflect.TypeOf(proto), empty: empty, beacon: beacon, proto: proto, enc: enc, dec: dec}
+	binReg.Lock()
+	defer binReg.Unlock()
+	if prev := binReg.byKind[kind]; prev != nil {
+		panic(fmt.Sprintf("transport: kind %d already registered to %v", kind, prev.typ))
+	}
+	if _, dup := binReg.byType[c.typ]; dup {
+		panic(fmt.Sprintf("transport: %v already has a binary codec", c.typ))
+	}
+	binReg.byKind[kind] = c
+	binReg.byType[c.typ] = c
+}
+
+// RegisterBinaryPayload gives a payload type a hand-rolled binary codec at
+// the given kind tag (≥ 16 for layers outside this package). enc must
+// write and dec must read exactly the same field sequence.
+func RegisterBinaryPayload(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any) {
+	registerBinary(kind, proto, enc, dec, false, false)
+}
+
+// RegisterEmptyPayload registers a fieldless payload type: it costs one
+// kind byte on the wire and decodes to a canonical value with zero
+// allocations.
+func RegisterEmptyPayload(kind byte, proto any) {
+	registerBinary(kind, proto, nil, nil, true, false)
+}
+
+// RegisterBeaconPayload registers a fieldless liveness beacon. Beacons get
+// the fast path end to end: cached per-channel encodings (a steady-state
+// beacon send allocates nothing), no mux sequencing, and coalescing of
+// duplicates queued behind a slow link.
+func RegisterBeaconPayload(kind byte, proto any) {
+	registerBinary(kind, proto, nil, nil, true, true)
+}
+
+func binCodecFor(v any) *payloadCodec {
+	binReg.RLock()
+	c := binReg.byType[reflect.TypeOf(v)]
+	binReg.RUnlock()
+	return c
+}
+
+func binCodecByKind(kind byte) *payloadCodec {
+	binReg.RLock()
+	c := binReg.byKind[kind]
+	binReg.RUnlock()
+	return c
+}
+
+// muxHello announces which unordered peer pair a freshly dialed mux
+// connection serves: From is the initiating end, To the accepted end. It
+// never reaches handlers.
+type muxHello struct{}
+
+func init() {
+	RegisterBeaconPayload(kindMuxHello, muxHello{})
+	registerCoreCodecs()
+}
+
+// --- Encoder / Decoder -------------------------------------------------------
+
+// Encoder appends wire primitives to a byte slice. The zero value is
+// ready to use; Bytes returns the accumulated encoding.
+type Encoder struct{ b []byte }
+
+// Bytes returns the encoded bytes accumulated so far.
+func (e *Encoder) Bytes() []byte { return e.b }
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(v byte) { e.b = append(e.b, v) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// Varint appends a zigzag-encoded signed varint.
+func (e *Encoder) Varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// String appends a uvarint length followed by the raw bytes.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Decoder reads wire primitives from a byte slice. After any failure every
+// subsequent read returns a zero value and Err reports the first error —
+// codecs read their whole field sequence and check Err once. Decoded
+// values never alias the input buffer (strings are copied), so callers may
+// pool and reuse it.
+type Decoder struct {
+	b      []byte
+	off    int
+	err    error
+	intern map[string]string // optional: long-lived readers dedup strings
+}
+
+func (d *Decoder) reset(b []byte) {
+	d.b, d.off, d.err = b, 0, nil
+}
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: decode: truncated or corrupt %s at offset %d", what, d.off)
+	}
+}
+
+// Err reports the first decoding failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left unread.
+func (d *Decoder) Remaining() int { return len(d.b) - d.off }
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil || d.off >= len(d.b) {
+		d.fail("byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bool reads a one-byte bool.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// String reads a uvarint-length-prefixed string (always a copy of the
+// input, interned on long-lived readers).
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("string")
+		return ""
+	}
+	b := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	// Intern only plausibly-repeating short strings (process identifiers
+	// are a handful of bytes), and bound the entry count, so adversarial
+	// input cannot pin unbounded memory to a long-lived reader.
+	if d.intern != nil && len(b) <= 64 {
+		if s, ok := d.intern[string(b)]; ok {
+			return s
+		}
+		s := string(b)
+		if len(d.intern) < 1024 {
+			d.intern[s] = s
+		}
+		return s
+	}
+	return string(b)
+}
+
+// count reads a slice length and bounds it by the minimum wire size of
+// one element against the remaining input, so a corrupt count cannot
+// force an allocation larger than the input that carried it.
+func (d *Decoder) count(minElem int) int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	// Divide, don't multiply: n*minElem can wrap for a hostile 64-bit
+	// count and slip past the bound as a small (or negative) number.
+	if n > uint64(d.Remaining())/uint64(minElem) {
+		d.fail("count")
+		return 0
+	}
+	return int(n)
+}
+
+// prealloc clamps a decoded count to a sane initial capacity; append
+// grows honest slices past it.
+func prealloc(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+// --- Frame encode / decode ---------------------------------------------------
+
+// encBufs pools encode scratch buffers: the steady-state wire path
+// allocates nothing per frame beyond what the caller retains.
+var encBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice. Payload types with a binary codec use it; everything else falls
+// back to the kind-0 gob escape hatch.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	c := binCodecFor(f.Body)
+	if c == nil {
+		blob, err := EncodeFrameGob(f)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, blob...), nil
+	}
+	e := Encoder{b: dst}
+	e.Byte(c.kind)
+	e.String(f.From)
+	e.String(f.To)
+	e.Uvarint(f.Seq)
+	e.Varint(f.MsgID)
+	if !c.empty {
+		c.enc(&e, f.Body)
+	}
+	return e.b, nil
+}
+
+// EncodeFrame renders f as a self-contained byte blob (pooled scratch
+// space, exact-size result — safe to retain, queue, or duplicate).
 func EncodeFrame(f Frame) ([]byte, error) {
+	bp := encBufs.Get().(*[]byte)
+	b, err := AppendFrame((*bp)[:0], f)
+	if err != nil {
+		encBufs.Put(bp)
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	*bp = b[:0]
+	encBufs.Put(bp)
+	return out, nil
+}
+
+// EncodeFrameGob forces the kind-0 escape hatch: one self-contained gob
+// blob per frame, re-carrying its type wiring every time. Unregistered
+// payload types take this path automatically; it is exported as the
+// baseline arm of the codec benchmarks.
+func EncodeFrameGob(f Frame) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteByte(kindGob)
 	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
 		return nil, fmt.Errorf("transport: encode frame: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeFrame parses a blob produced by EncodeFrame.
+// DecodeFrame parses a blob produced by AppendFrame/EncodeFrame.
 func DecodeFrame(b []byte) (Frame, error) {
-	var f Frame
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&f); err != nil {
-		return Frame{}, fmt.Errorf("transport: decode frame: %w", err)
+	var d Decoder
+	d.reset(b)
+	return decodeFrame(&d)
+}
+
+func decodeFrame(d *Decoder) (Frame, error) {
+	if d.Remaining() == 0 {
+		return Frame{}, fmt.Errorf("transport: decode empty frame")
+	}
+	kind := d.Byte()
+	if kind == kindGob {
+		var f Frame
+		if err := gob.NewDecoder(bytes.NewReader(d.b[d.off:])).Decode(&f); err != nil {
+			return Frame{}, fmt.Errorf("transport: decode frame: %w", err)
+		}
+		return f, nil
+	}
+	c := binCodecByKind(kind)
+	if c == nil {
+		return Frame{}, fmt.Errorf("transport: unknown payload kind %d", kind)
+	}
+	f := Frame{From: d.String(), To: d.String(), Seq: d.Uvarint(), MsgID: d.Varint()}
+	if c.empty {
+		f.Body = c.proto
+	} else {
+		f.Body = c.dec(d)
+	}
+	if err := d.Err(); err != nil {
+		return Frame{}, err
+	}
+	if d.Remaining() != 0 {
+		return Frame{}, fmt.Errorf("transport: %d trailing bytes after kind-%d frame", d.Remaining(), kind)
 	}
 	return f, nil
 }
 
 // WriteFrame writes f to w as a 4-byte big-endian length prefix followed
-// by the gob body.
+// by the wire body, in a single Write (one syscall per frame on sockets).
 func WriteFrame(w io.Writer, f Frame) error {
-	body, err := EncodeFrame(f)
+	bp := encBufs.Get().(*[]byte)
+	b, err := AppendFrame(append((*bp)[:0], 0, 0, 0, 0), f)
 	if err != nil {
+		encBufs.Put(bp)
 		return err
 	}
-	if len(body) > maxFrame {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(body))
+	body := len(b) - 4
+	if body > maxFrame {
+		*bp = b[:0]
+		encBufs.Put(bp)
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(b[:4], uint32(body))
+	_, err = w.Write(b)
+	*bp = b[:0]
+	encBufs.Put(bp)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r.
+// ReadFrame reads one length-prefixed frame from r. The body buffer is
+// pooled — decoded frames never alias it.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	var fr frameReader
+	fr.r = r
+	return fr.read()
+}
+
+// frameReader reads length-prefixed frames from one stream with a
+// reusable body buffer and string interning: the steady-state read path
+// of a mux connection allocates nothing for beacons and only the payload
+// for protocol frames.
+type frameReader struct {
+	r   io.Reader
+	hdr [4]byte // field, not a local: a local would escape through io.ReadFull
+	buf []byte
+	dec Decoder
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: r, dec: Decoder{intern: make(map[string]string)}}
+}
+
+func (fr *frameReader) read() (Frame, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return Frame{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(fr.hdr[:])
 	if n > maxFrame {
 		return Frame{}, fmt.Errorf("transport: frame length %d exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
 		return Frame{}, err
 	}
-	return DecodeFrame(body)
+	fr.dec.reset(body)
+	return decodeFrame(&fr.dec)
+}
+
+// --- Core vocabulary codecs --------------------------------------------------
+
+func putProcID(e *Encoder, p ids.ProcID) {
+	e.String(p.Site)
+	e.Uvarint(uint64(p.Incarnation))
+}
+
+func getProcID(d *Decoder) ids.ProcID {
+	site := d.String()
+	inc := d.Uvarint()
+	if inc > math.MaxUint32 {
+		d.fail("incarnation")
+		return ids.Nil
+	}
+	return ids.ProcID{Site: site, Incarnation: uint32(inc)}
+}
+
+func putProcIDs(e *Encoder, s []ids.ProcID) {
+	e.Uvarint(uint64(len(s)))
+	for _, p := range s {
+		putProcID(e, p)
+	}
+}
+
+func getProcIDs(d *Decoder) []ids.ProcID {
+	n := d.count(2) // site length prefix + incarnation, ≥ 2 bytes each
+	if n == 0 {
+		return nil
+	}
+	out := make([]ids.ProcID, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, getProcID(d))
+	}
+	return out
+}
+
+func putOp(e *Encoder, op member.Op) {
+	e.Byte(byte(op.Kind))
+	putProcID(e, op.Target)
+}
+
+func getOp(d *Decoder) member.Op {
+	kind := d.Byte()
+	return member.Op{Kind: member.OpKind(kind), Target: getProcID(d)}
+}
+
+func putVer(e *Encoder, v member.Version) { e.Varint(int64(v)) }
+
+func getVer(d *Decoder) member.Version { return member.Version(d.Varint()) }
+
+func putSeq(e *Encoder, s member.Seq) {
+	e.Uvarint(uint64(len(s)))
+	for _, op := range s {
+		putOp(e, op)
+	}
+}
+
+func getSeq(d *Decoder) member.Seq {
+	n := d.count(3) // op kind + process id, ≥ 3 bytes each
+	if n == 0 {
+		return nil
+	}
+	out := make(member.Seq, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, getOp(d))
+	}
+	return out
+}
+
+func putNext(e *Encoder, next member.Next) {
+	e.Uvarint(uint64(len(next)))
+	for _, t := range next {
+		putOp(e, t.Op)
+		putProcID(e, t.Coord)
+		putVer(e, t.Ver)
+		e.Bool(t.Wildcard)
+	}
+}
+
+func getNext(d *Decoder) member.Next {
+	n := d.count(7) // op + coord id + version + wildcard, ≥ 7 bytes each
+	if n == 0 {
+		return nil
+	}
+	out := make(member.Next, 0, prealloc(n))
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, member.Triple{Op: getOp(d), Coord: getProcID(d), Ver: getVer(d), Wildcard: d.Bool()})
+	}
+	return out
+}
+
+func registerCoreCodecs() {
+	registerBinary(kindInvite, core.Invite{},
+		func(e *Encoder, v any) {
+			m := v.(core.Invite)
+			putOp(e, m.Op)
+			putVer(e, m.Ver)
+		},
+		func(d *Decoder) any {
+			return core.Invite{Op: getOp(d), Ver: getVer(d)}
+		}, false, false)
+
+	registerBinary(kindOK, core.OK{},
+		func(e *Encoder, v any) { putVer(e, v.(core.OK).Ver) },
+		func(d *Decoder) any { return core.OK{Ver: getVer(d)} }, false, false)
+
+	registerBinary(kindCommit, core.Commit{},
+		func(e *Encoder, v any) {
+			m := v.(core.Commit)
+			putOp(e, m.Op)
+			putVer(e, m.Ver)
+			putOp(e, m.Next)
+			putVer(e, m.NextVer)
+			putProcIDs(e, m.Faulty)
+			putProcIDs(e, m.Recovered)
+		},
+		func(d *Decoder) any {
+			return core.Commit{
+				Op: getOp(d), Ver: getVer(d),
+				Next: getOp(d), NextVer: getVer(d),
+				Faulty: getProcIDs(d), Recovered: getProcIDs(d),
+			}
+		}, false, false)
+
+	registerBinary(kindInterrogate, core.Interrogate{}, nil, nil, true, false)
+
+	registerBinary(kindInterrogateOK, core.InterrogateOK{},
+		func(e *Encoder, v any) {
+			m := v.(core.InterrogateOK)
+			putVer(e, m.Ver)
+			putSeq(e, m.Seq)
+			putNext(e, m.Next)
+			putProcIDs(e, m.Faulty)
+		},
+		func(d *Decoder) any {
+			return core.InterrogateOK{Ver: getVer(d), Seq: getSeq(d), Next: getNext(d), Faulty: getProcIDs(d)}
+		}, false, false)
+
+	registerBinary(kindPropose, core.Propose{},
+		func(e *Encoder, v any) {
+			m := v.(core.Propose)
+			putSeq(e, m.RL)
+			putVer(e, m.Ver)
+			putOp(e, m.Invis)
+			putProcIDs(e, m.Faulty)
+		},
+		func(d *Decoder) any {
+			return core.Propose{RL: getSeq(d), Ver: getVer(d), Invis: getOp(d), Faulty: getProcIDs(d)}
+		}, false, false)
+
+	registerBinary(kindProposeOK, core.ProposeOK{},
+		func(e *Encoder, v any) { putVer(e, v.(core.ProposeOK).Ver) },
+		func(d *Decoder) any { return core.ProposeOK{Ver: getVer(d)} }, false, false)
+
+	registerBinary(kindReconfCommit, core.ReconfCommit{},
+		func(e *Encoder, v any) {
+			m := v.(core.ReconfCommit)
+			putSeq(e, m.RL)
+			putVer(e, m.Ver)
+			putOp(e, m.Invis)
+			putProcIDs(e, m.Faulty)
+		},
+		func(d *Decoder) any {
+			return core.ReconfCommit{RL: getSeq(d), Ver: getVer(d), Invis: getOp(d), Faulty: getProcIDs(d)}
+		}, false, false)
+
+	registerBinary(kindFaultyReport, core.FaultyReport{},
+		func(e *Encoder, v any) { putProcID(e, v.(core.FaultyReport).Suspect) },
+		func(d *Decoder) any { return core.FaultyReport{Suspect: getProcID(d)} }, false, false)
+
+	registerBinary(kindJoinRequest, core.JoinRequest{},
+		func(e *Encoder, v any) { putProcID(e, v.(core.JoinRequest).Joiner) },
+		func(d *Decoder) any { return core.JoinRequest{Joiner: getProcID(d)} }, false, false)
+
+	registerBinary(kindStateTransfer, core.StateTransfer{},
+		func(e *Encoder, v any) {
+			m := v.(core.StateTransfer)
+			putProcIDs(e, m.Members)
+			putVer(e, m.Ver)
+			putSeq(e, m.Seq)
+			putProcID(e, m.Coord)
+			putOp(e, m.Next)
+			putVer(e, m.NextVer)
+		},
+		func(d *Decoder) any {
+			return core.StateTransfer{
+				Members: getProcIDs(d), Ver: getVer(d), Seq: getSeq(d),
+				Coord: getProcID(d), Next: getOp(d), NextVer: getVer(d),
+			}
+		}, false, false)
 }

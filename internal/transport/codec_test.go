@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/hex"
 	"reflect"
 	"testing"
 
@@ -10,11 +11,11 @@ import (
 	"procgroup/internal/member"
 )
 
-// TestFrameRoundTrip encodes every protocol message kind through the wire
-// codec and checks the decoded payload is structurally identical.
-func TestFrameRoundTrip(t *testing.T) {
+// testPayloads covers every protocol message kind, with populated and
+// zero-valued fields.
+func testPayloads() []any {
 	p3 := ids.ProcID{Site: "p3", Incarnation: 2}
-	payloads := []any{
+	return []any{
 		core.Invite{Op: member.Remove(p3), Ver: 4},
 		core.OK{Ver: 4},
 		core.Commit{
@@ -22,8 +23,13 @@ func TestFrameRoundTrip(t *testing.T) {
 			Next: member.Add(ids.Named("q1")), NextVer: 5,
 			Faulty: []ids.ProcID{p3}, Recovered: []ids.ProcID{ids.Named("q1")},
 		},
+		core.Commit{}, // all-zero fields, nil slices
 		core.Interrogate{},
-		core.InterrogateOK{Ver: 2, Seq: member.Seq{member.Remove(p3)}, Faulty: []ids.ProcID{p3}},
+		core.InterrogateOK{
+			Ver: 2, Seq: member.Seq{member.Remove(p3)},
+			Next:   member.Next{{Op: member.Add(p3), Coord: ids.Named("p1"), Ver: 3}, member.WildcardFor(ids.Named("p2"))},
+			Faulty: []ids.ProcID{p3},
+		},
 		core.Propose{RL: member.Seq{member.Add(p3)}, Ver: 3, Invis: member.Remove(p3)},
 		core.ProposeOK{Ver: 3},
 		core.ReconfCommit{RL: member.Seq{member.Add(p3)}, Ver: 3},
@@ -31,11 +37,20 @@ func TestFrameRoundTrip(t *testing.T) {
 		core.JoinRequest{Joiner: p3},
 		core.StateTransfer{Members: []ids.ProcID{p3}, Ver: 7, Coord: ids.Named("p1")},
 	}
-	for _, payload := range payloads {
-		in := Frame{From: "p1", To: "p3#2", MsgID: 42, Body: payload}
+}
+
+// TestFrameRoundTrip encodes every protocol message kind through the
+// binary wire codec and checks the decoded frame is structurally
+// identical — including the mux header fields (Seq, MsgID).
+func TestFrameRoundTrip(t *testing.T) {
+	for _, payload := range testPayloads() {
+		in := Frame{From: "p1", To: "p3#2", Seq: 9, MsgID: 42, Body: payload}
 		blob, err := EncodeFrame(in)
 		if err != nil {
 			t.Fatalf("%T: encode: %v", payload, err)
+		}
+		if blob[0] == 0 {
+			t.Errorf("%T: fell back to the gob escape hatch; core payloads must have binary codecs", payload)
 		}
 		out, err := DecodeFrame(blob)
 		if err != nil {
@@ -43,6 +58,121 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(in, out) {
 			t.Errorf("%T: round trip\n in: %#v\nout: %#v", payload, in, out)
+		}
+	}
+}
+
+// TestFrameRoundTripGob proves codec equivalence: the kind-0 escape hatch
+// carries the same vocabulary to the same decoded frames.
+func TestFrameRoundTripGob(t *testing.T) {
+	for _, payload := range testPayloads() {
+		in := Frame{From: "p1", To: "p3#2", Seq: 9, MsgID: 42, Body: payload}
+		blob, err := EncodeFrameGob(in)
+		if err != nil {
+			t.Fatalf("%T: gob encode: %v", payload, err)
+		}
+		if blob[0] != 0 {
+			t.Fatalf("%T: gob arm must carry kind tag 0, got %d", payload, blob[0])
+		}
+		out, err := DecodeFrame(blob)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", payload, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("%T: gob round trip\n in: %#v\nout: %#v", payload, in, out)
+		}
+	}
+}
+
+// gobOnlyPayload has no binary codec; it must travel via the escape hatch.
+type gobOnlyPayload struct{ S string }
+
+func init() { RegisterPayload(gobOnlyPayload{}) }
+
+// TestUnregisteredPayloadFallsBackToGob: payload types without a binary
+// codec still travel, tagged kind 0.
+func TestUnregisteredPayloadFallsBackToGob(t *testing.T) {
+	in := Frame{From: "a", To: "b", MsgID: 1, Body: gobOnlyPayload{S: "x"}}
+	blob, err := EncodeFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob[0] != 0 {
+		t.Fatalf("unregistered payload got kind %d, want the gob escape hatch", blob[0])
+	}
+	out, err := DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("gob fallback round trip\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestGoldenWireFormat pins the binary layout byte for byte: if this test
+// breaks, the wire format changed and cross-version framing with it —
+// bump a kind tag instead of silently re-shaping an existing encoding.
+func TestGoldenWireFormat(t *testing.T) {
+	p3 := ids.ProcID{Site: "p3", Incarnation: 2}
+	cases := []struct {
+		frame Frame
+		hex   string
+	}{
+		{
+			Frame{From: "p1", To: "p2", Seq: 7, MsgID: 42, Body: core.OK{Ver: 4}},
+			"02027031027032075408",
+		},
+		{
+			Frame{From: "p1", To: "p3#2", Seq: 1, MsgID: -3, Body: core.Invite{Op: member.Remove(p3), Ver: 4}},
+			"0102703104703323320105010270330208",
+		},
+		{
+			Frame{From: "p1", To: "p2", Seq: 2, MsgID: 5, Body: core.Commit{
+				Op: member.Remove(p3), Ver: 4,
+				Next: member.Add(ids.Named("q1")), NextVer: 5,
+				Faulty: []ids.ProcID{p3}, Recovered: []ids.ProcID{ids.Named("q1")},
+			}},
+			"03027031027032020a01027033020802027131000a01027033020102713100",
+		},
+		{
+			Frame{From: "p2", To: "p1", Seq: 3, MsgID: 6, Body: core.Interrogate{}},
+			"04027032027031030c",
+		},
+		{
+			Frame{From: "p2", To: "p1", Seq: 4, MsgID: 7, Body: core.InterrogateOK{
+				Ver: 2, Seq: member.Seq{member.Remove(p3)},
+				Next:   member.Next{{Op: member.Add(p3), Coord: ids.Named("p1"), Ver: 3}, member.WildcardFor(ids.Named("p2"))},
+				Faulty: []ids.ProcID{p3},
+			}},
+			"05027032027031040e040101027033020202027033020270310006000000000270320000010102703302",
+		},
+		{
+			Frame{From: "p4", To: "p5", Seq: 9, MsgID: 8, Body: core.StateTransfer{
+				Members: []ids.ProcID{ids.Named("p1"), p3}, Ver: 7,
+				Seq:   member.Seq{member.Add(p3)},
+				Coord: ids.Named("p1"), Next: member.Remove(p3), NextVer: 8,
+			}},
+			"0b02703402703509100202703100027033020e01020270330202703100010270330210",
+		},
+	}
+	for _, tc := range cases {
+		got, err := EncodeFrame(tc.frame)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", tc.frame.Body, err)
+		}
+		want, err := hex.DecodeString(tc.hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%T: wire bytes changed\n got %x\nwant %x", tc.frame.Body, got, want)
+		}
+		back, err := DecodeFrame(want)
+		if err != nil {
+			t.Fatalf("%T: golden bytes no longer decode: %v", tc.frame.Body, err)
+		}
+		if !reflect.DeepEqual(tc.frame, back) {
+			t.Errorf("%T: golden decode\n in: %#v\nout: %#v", tc.frame.Body, tc.frame, back)
 		}
 	}
 }
@@ -74,5 +204,84 @@ func TestReadFrameRejectsOversizedLength(t *testing.T) {
 	buf := bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff})
 	if _, err := ReadFrame(buf); err == nil {
 		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// TestDecodeFrameRejectsCorruption: truncations, trailing garbage, and
+// unknown kinds must all error, never panic or mis-decode.
+func TestDecodeFrameRejectsCorruption(t *testing.T) {
+	blob, err := EncodeFrame(Frame{From: "p1", To: "p3#2", Seq: 9, MsgID: 42, Body: core.Commit{
+		Faulty: []ids.ProcID{ids.Named("p2")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeFrame(blob[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	if _, err := DecodeFrame(append(append([]byte{}, blob...), 0x01)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := DecodeFrame([]byte{0xfe, 0x00}); err == nil {
+		t.Error("unknown kind tag accepted")
+	}
+	// A corrupt slice count must not force a huge allocation.
+	corrupt := append([]byte{}, blob...)
+	corrupt[len(corrupt)-1] = 0xff
+	DecodeFrame(corrupt) // must not panic; error or partial decode both fine
+}
+
+// TestDecodeFrameRejectsOverflowingCount: a hostile 64-bit slice count
+// must fail the bounds check, not wrap it and panic make() with a
+// negative capacity (one such frame from any peer would crash the
+// process via the TCP read loop).
+func TestDecodeFrameRejectsOverflowingCount(t *testing.T) {
+	var e Encoder
+	e.Byte(kindPropose) // Propose: RL (Seq), Ver, Invis, Faulty
+	e.String("p1")
+	e.String("p2")
+	e.Uvarint(1)       // mux Seq
+	e.Varint(1)        // MsgID
+	e.Uvarint(1 << 63) // RL count: n*minElem wraps to 0
+	if _, err := DecodeFrame(e.Bytes()); err == nil {
+		t.Fatal("overflowing slice count accepted")
+	}
+}
+
+// TestDecoderNeverAliasesInput: the read path reuses body buffers, so a
+// decoded frame must survive the buffer being clobbered.
+func TestDecoderNeverAliasesInput(t *testing.T) {
+	in := Frame{From: "proc-one", To: "proc-two", Seq: 1, MsgID: 2, Body: core.JoinRequest{Joiner: ids.Named("joiner")}}
+	blob, err := EncodeFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blob {
+		blob[i] = 0xAA
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("decoded frame aliased its input buffer:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestEmptyPayloadDecodesToCanonicalValue: fieldless payloads decode to
+// the registered prototype without allocating a fresh value.
+func TestEmptyPayloadDecodesToCanonicalValue(t *testing.T) {
+	blob, err := EncodeFrame(Frame{From: "a", To: "b", Seq: 1, Body: core.Interrogate{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Body.(core.Interrogate); !ok {
+		t.Fatalf("decoded %T, want core.Interrogate", f.Body)
 	}
 }

@@ -16,6 +16,7 @@ type Inmem struct {
 	mu       sync.RWMutex
 	handlers map[ids.ProcID]Handler
 	closed   bool
+	stats    statCounters
 }
 
 // NewInmem builds an empty in-process transport.
@@ -48,11 +49,20 @@ func (t *Inmem) Unregister(p ids.ProcID) {
 func (t *Inmem) Send(from, to ids.ProcID, m Message) {
 	t.mu.RLock()
 	h := t.handlers[to]
+	closed := t.closed
 	t.mu.RUnlock()
-	if h != nil {
+	switch {
+	case closed:
+		t.stats.drop(dropClosed)
+	case h == nil:
+		t.stats.drop(dropUnknownPeer)
+	default:
 		h(from, m)
 	}
 }
+
+// Stats implements Transport.
+func (t *Inmem) Stats() Stats { return t.stats.snapshot() }
 
 // Close implements Transport.
 func (t *Inmem) Close() error {

@@ -77,11 +77,16 @@ type Lossy struct {
 	events   eventHeap
 	seq      int64
 	closed   bool
+	stats    statCounters
 
 	wake chan struct{}
 	quit chan struct{}
 	done chan struct{}
 }
+
+// lossyQueueDepth bounds one ABP sender's unacknowledged backlog; past it
+// the channel is effectively down and further sends drop like datagrams.
+const lossyQueueDepth = 1024
 
 // lossyLink is one directed channel's ABP stack.
 type lossyLink struct {
@@ -226,10 +231,11 @@ func (t *Lossy) Unregister(p ids.ProcID) {
 	}
 }
 
-// Send implements Transport: the frame is encoded and handed to the
-// channel's stop-and-wait sender on the loop goroutine. Successive sends
-// on one channel carry increasing heap sequence numbers, so the ABP queue
-// sees them in send order.
+// Send implements Transport: the frame is encoded (through the codec's
+// pooled scratch buffers — only the exact-size datagram that crosses the
+// link is retained) and handed to the channel's stop-and-wait sender on
+// the loop goroutine. Successive sends on one channel carry increasing
+// heap sequence numbers, so the ABP queue sees them in send order.
 func (t *Lossy) Send(from, to ids.ProcID, m Message) {
 	body, err := EncodeFrame(Frame{From: from.String(), To: to.String(), MsgID: m.MsgID, Body: m.Payload})
 	if err != nil {
@@ -238,6 +244,7 @@ func (t *Lossy) Send(from, to ids.ProcID, m Message) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
+		t.stats.drop(dropClosed)
 		return
 	}
 	k := chanKey{from, to}
@@ -247,8 +254,18 @@ func (t *Lossy) Send(from, to ids.ProcID, m Message) {
 		t.links[k] = l
 	}
 	t.mu.Unlock()
-	t.At(t.Now(), func() { l.send(body) })
+	t.At(t.Now(), func() {
+		// Loop goroutine: the only place sender state may be read.
+		if l.sender.Pending() >= lossyQueueDepth {
+			t.stats.drop(dropQueueSaturated)
+			return
+		}
+		l.send(body)
+	})
 }
+
+// Stats implements Transport.
+func (t *Lossy) Stats() Stats { return t.stats.snapshot() }
 
 // newLinkLocked wires one directed channel: ABP sender and receiver across
 // a lossy link, delivering decoded frames to the destination handler.
@@ -271,7 +288,9 @@ func (t *Lossy) newLinkLocked(k chanKey) *lossyLink {
 		h := t.handlers[k.to]
 		t.mu.Unlock()
 		if h == nil {
-			return // destination unregistered while the datagram was in flight
+			// Destination unregistered while the datagram was in flight.
+			t.stats.drop(dropUnknownPeer)
+			return
 		}
 		h(from, Message{MsgID: f.MsgID, Payload: f.Body})
 	}

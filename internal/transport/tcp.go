@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -10,51 +12,60 @@ import (
 )
 
 // TCP is the socket transport: every registered process owns a listener,
-// and every directed channel (from, to) is one length-prefixed gob stream
-// over its own connection, dialed lazily and redialed on failure. One
-// connection per channel is what makes the §2.1 FIFO property structural:
-// TCP orders bytes within a stream, and a single writer goroutine drains
-// each channel's queue in send order.
+// and every unordered peer pair {p, q} shares ONE multiplexed connection
+// carrying channel-tagged frames for both directions — n(n−1)/2 sockets
+// for a fully-connected n-process group instead of the n(n−1) of the old
+// one-socket-per-directed-channel design. The §2.1 per-channel FIFO
+// property stays structural: TCP orders bytes within the stream, a single
+// writer goroutine per pair drains the per-channel FIFO queues fairly
+// (round-robin, in-queue order), and every sequenced frame carries a
+// per-channel mux sequence number that the reader checks.
 //
 // Peers register locally (loopback clusters) or are introduced with
 // AddPeer (cross-host deployments). Sends to a peer that is unknown,
 // unreachable, or whose channel queue is saturated are dropped — the
-// failure detector owns liveness, the transport only moves bytes.
+// failure detector owns liveness, the transport only moves bytes — and
+// every drop is counted by reason (Stats).
 type TCP struct {
 	host string
 
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	addrs  map[ids.ProcID]string
 	locals map[ids.ProcID]*tcpEndpoint
-	chans  map[chanKey]*tcpChan
+	pairs  map[pairKey]*pairMux
 	closed bool
 	wg     sync.WaitGroup
+	stats  statCounters
 }
 
 // chanKey names one directed channel.
 type chanKey struct{ from, to ids.ProcID }
 
+// pairKey names one unordered peer pair, canonically ordered (a ≤ b).
+type pairKey struct{ a, b ids.ProcID }
+
+func pairOf(p, q ids.ProcID) pairKey {
+	if q.Less(p) {
+		p, q = q, p
+	}
+	return pairKey{a: p, b: q}
+}
+
 // tcpEndpoint is one registered process's accepting side.
 type tcpEndpoint struct {
-	owner string // ids.ProcID.String() of the registered process
-	ln    net.Listener
-	h     Handler
+	ln net.Listener
+	h  Handler
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  bool
 }
 
-// tcpChan is one directed channel's sending side.
-type tcpChan struct {
-	q    chan Frame
-	stop chan struct{}
-}
-
 // tcpQueueDepth bounds a channel's outbound queue. Protocol traffic is a
 // handful of messages per view change; hitting this depth means the peer
 // is unreachable and the frames would be dropped at dial time anyway.
-const tcpQueueDepth = 1024
+// (A var, not a const, so saturation tests can lower it.)
+var tcpQueueDepth = 1024
 
 // NewTCP builds a TCP transport whose listeners bind loopback.
 func NewTCP() *TCP { return NewTCPHost("127.0.0.1") }
@@ -65,7 +76,7 @@ func NewTCPHost(host string) *TCP {
 		host:   host,
 		addrs:  make(map[ids.ProcID]string),
 		locals: make(map[ids.ProcID]*tcpEndpoint),
-		chans:  make(map[chanKey]*tcpChan),
+		pairs:  make(map[pairKey]*pairMux),
 	}
 }
 
@@ -80,11 +91,14 @@ func (t *TCP) AddPeer(p ids.ProcID, addr string) {
 // Addr reports the listen address of a registered process, for handing to
 // AddPeer on other transports.
 func (t *TCP) Addr(p ids.ProcID) (string, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	a, ok := t.addrs[p]
 	return a, ok
 }
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
 
 // Register implements Transport: it opens p's listener and starts its
 // accept loop.
@@ -101,7 +115,7 @@ func (t *TCP) Register(p ids.ProcID, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("transport: listen for %v: %w", p, err)
 	}
-	ep := &tcpEndpoint{owner: p.String(), ln: ln, h: h, conns: make(map[net.Conn]struct{})}
+	ep := &tcpEndpoint{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
 	t.locals[p] = ep
 	t.addrs[p] = ln.Addr().String()
 	t.wg.Add(1)
@@ -109,8 +123,9 @@ func (t *TCP) Register(p ids.ProcID, h Handler) error {
 	return nil
 }
 
-// Unregister implements Transport: p's listener and accepted connections
-// close, so peers dialing it fail and drop, like a dead host.
+// Unregister implements Transport: p's listener, its accepted connections,
+// and every pair mux touching p close, so peers sending to it fail and
+// drop, like a dead host. Channels between other pairs are untouched.
 func (t *TCP) Unregister(p ids.ProcID) {
 	t.mu.Lock()
 	ep, ok := t.locals[p]
@@ -119,43 +134,82 @@ func (t *TCP) Unregister(p ids.ProcID) {
 	}
 	// The stale address stays in addrs: dials to it now fail, which is
 	// exactly the dead-host behavior senders must see.
-	var drop []*tcpChan
-	for k, ch := range t.chans {
-		if k.from == p {
-			drop = append(drop, ch)
-			delete(t.chans, k)
+	var drop []*pairMux
+	for k, m := range t.pairs {
+		if k.a == p || k.b == p {
+			drop = append(drop, m)
+			delete(t.pairs, k)
 		}
 	}
 	t.mu.Unlock()
 	if ok {
 		ep.shutdown()
 	}
-	for _, ch := range drop {
-		close(ch.stop)
+	for _, m := range drop {
+		m.stop()
 	}
 }
 
 // Send implements Transport.
 func (t *TCP) Send(from, to ids.ProcID, m Message) {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if from == to {
+		// Self-sends never touch a socket (there is no {p, p} pair);
+		// deliver directly, matching Inmem's contract.
+		t.mu.RLock()
+		closed := t.closed
+		ep := t.locals[to]
+		t.mu.RUnlock()
+		switch {
+		case closed:
+			t.stats.drop(dropClosed)
+		case ep == nil:
+			t.stats.drop(dropUnknownPeer)
+		default:
+			ep.h(from, m)
+		}
 		return
 	}
-	k := chanKey{from, to}
-	ch, ok := t.chans[k]
-	if !ok {
-		ch = &tcpChan{q: make(chan Frame, tcpQueueDepth), stop: make(chan struct{})}
-		t.chans[k] = ch
-		t.wg.Add(1)
-		go t.write(ch, to)
+	k := pairOf(from, to)
+	t.mu.RLock()
+	closed := t.closed
+	mx := t.pairs[k]
+	t.mu.RUnlock()
+	if closed {
+		t.stats.closed.Add(1)
+		return
 	}
-	t.mu.Unlock()
-	f := Frame{From: from.String(), To: to.String(), MsgID: m.MsgID, Body: m.Payload}
-	select {
-	case ch.q <- f:
-	default: // peer unreachable long enough to fill the queue: datagram loss
+	if mx == nil {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			t.stats.closed.Add(1)
+			return
+		}
+		mx = t.pairs[k]
+		if mx == nil {
+			mx = t.newPairLocked(k, to)
+		}
+		t.mu.Unlock()
 	}
+	mx.enqueue(chanKey{from, to}, m)
+}
+
+// newPairLocked creates the mux for pair k and starts its writer; t.mu
+// must be held. dialTo is the end this instance dials if it has to
+// establish the link itself.
+func (t *TCP) newPairLocked(k pairKey, dialTo ids.ProcID) *pairMux {
+	m := &pairMux{
+		t:      t,
+		key:    k,
+		dialTo: dialTo,
+		queues: make(map[chanKey]*muxQueue, 2),
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	t.pairs[k] = m
+	t.wg.Add(1)
+	go m.run()
+	return m
 }
 
 // Close implements Transport.
@@ -171,17 +225,17 @@ func (t *TCP) Close() error {
 		eps = append(eps, ep)
 	}
 	t.locals = make(map[ids.ProcID]*tcpEndpoint)
-	chs := make([]*tcpChan, 0, len(t.chans))
-	for _, ch := range t.chans {
-		chs = append(chs, ch)
+	muxes := make([]*pairMux, 0, len(t.pairs))
+	for _, m := range t.pairs {
+		muxes = append(muxes, m)
 	}
-	t.chans = make(map[chanKey]*tcpChan)
+	t.pairs = make(map[pairKey]*pairMux)
 	t.mu.Unlock()
 	for _, ep := range eps {
 		ep.shutdown()
 	}
-	for _, ch := range chs {
-		close(ch.stop)
+	for _, m := range muxes {
+		m.stop()
 	}
 	t.wg.Wait()
 	return nil
@@ -200,74 +254,471 @@ func (t *TCP) accept(ep *tcpEndpoint) {
 			return
 		}
 		t.wg.Add(1)
-		go t.read(ep, c)
+		go t.readConn(c, ep, nil)
 	}
 }
 
-// read drains one accepted connection, handing each frame to the
-// endpoint's handler in stream order.
-func (t *TCP) read(ep *tcpEndpoint, c net.Conn) {
+// readConn drains one connection — accepted (ep non-nil) or dialed by a
+// pair writer (m non-nil) — routing each frame to the addressed local
+// handler. A muxHello adopts the connection into its pair's mux so the
+// accepting side can send on the same socket.
+func (t *TCP) readConn(c net.Conn, ep *tcpEndpoint, m *pairMux) {
 	defer t.wg.Done()
-	defer ep.untrack(c)
+	fr := newFrameReader(c)
+	lastSeq := make(map[chanKey]uint64)
 	for {
-		f, err := ReadFrame(c)
+		f, err := fr.read()
 		if err != nil {
-			return // EOF on peer close, or corruption: abandon the stream
+			break // EOF on peer close, or corruption: abandon the stream
 		}
-		if f.To != ep.owner {
-			// Addressed to a different process: the OS reused a dead
-			// process's ephemeral port for this endpoint and a sender is
-			// still dialing the stale address. Those datagrams are lost,
-			// not misdelivered.
-			continue
-		}
-		from, err := ids.Parse(f.From)
-		if err != nil {
-			continue
-		}
-		ep.h(from, Message{MsgID: f.MsgID, Payload: f.Body})
-	}
-}
-
-// write drains one directed channel's queue over a lazily-dialed
-// connection, redialing once per frame on failure.
-func (t *TCP) write(ch *tcpChan, to ids.ProcID) {
-	defer t.wg.Done()
-	var conn net.Conn
-	defer func() {
-		if conn != nil {
-			conn.Close()
-		}
-	}()
-	for {
-		select {
-		case <-ch.stop:
-			return
-		case f := <-ch.q:
-			for attempt := 0; attempt < 2; attempt++ {
-				if conn == nil {
-					t.mu.Lock()
-					addr, ok := t.addrs[to]
-					t.mu.Unlock()
-					if !ok {
-						break // unknown peer: drop
-					}
-					c, err := net.DialTimeout("tcp", addr, time.Second)
-					if err != nil {
-						break // unreachable: drop, redial on next frame
-					}
-					conn = c
-				}
-				if err := WriteFrame(conn, f); err != nil {
-					conn.Close()
-					conn = nil
-					continue // one reconnect attempt for this frame
-				}
+		if _, hello := f.Body.(muxHello); hello {
+			mm, keep := t.adopt(f, c)
+			if !keep {
 				break
 			}
+			if mm != nil {
+				m = mm
+			}
+			continue
+		}
+		t.route(f, lastSeq)
+	}
+	if m != nil {
+		m.dropConn(c)
+	}
+	if ep != nil {
+		ep.untrack(c)
+	}
+	c.Close()
+}
+
+// route hands one inbound frame to the local process it addresses. A
+// frame for a process this instance does not host is dropped, not
+// misdelivered — the port-reuse hazard: after a process dies, the OS can
+// hand its ephemeral port to a new listener while senders still dial the
+// stale address. Sequenced frames (Seq > 0) must advance their channel's
+// mux sequence within this connection — the §2.1 FIFO contract made
+// checkable on the wire for the stream's lifetime. Across a reconnect
+// the check starts fresh: the boundary keeps datagram semantics (a frame
+// retried on the replacement connection can duplicate or reorder against
+// the dying stream's tail), exactly as the one-socket-per-channel design
+// behaved on redial.
+func (t *TCP) route(f Frame, lastSeq map[chanKey]uint64) {
+	from, err := ids.Parse(f.From)
+	if err != nil {
+		return
+	}
+	to, err := ids.Parse(f.To)
+	if err != nil {
+		return
+	}
+	t.mu.RLock()
+	ep := t.locals[to]
+	t.mu.RUnlock()
+	if ep == nil {
+		return
+	}
+	if f.Seq != 0 {
+		k := chanKey{from, to}
+		if f.Seq <= lastSeq[k] {
+			return // stale or replayed within the stream: never reorder
+		}
+		lastSeq[k] = f.Seq
+	}
+	ep.h(from, Message{MsgID: f.MsgID, Payload: f.Body})
+}
+
+// adopt attaches an accepted mux connection to its pair entry, resolving
+// simultaneous opens deterministically: the connection initiated by the
+// smaller pair end survives on both sides. Returns the mux to associate
+// with the reader (nil for read-only use) and whether to keep reading.
+func (t *TCP) adopt(hello Frame, c net.Conn) (*pairMux, bool) {
+	init, err := ids.Parse(hello.From)
+	if err != nil {
+		return nil, false
+	}
+	acceptor, err := ids.Parse(hello.To)
+	if err != nil || init == acceptor {
+		return nil, false
+	}
+	k := pairOf(init, acceptor)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false
+	}
+	if _, local := t.locals[acceptor]; !local {
+		// A hello for a pair this instance does not host: stale-port or
+		// adversarial traffic. Reject rather than allocate mux state and
+		// a writer goroutine for an unverifiable pair.
+		t.mu.Unlock()
+		return nil, false
+	}
+	m := t.pairs[k]
+	if m == nil {
+		m = t.newPairLocked(k, init) // redials go back to the initiator
+	}
+	t.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil, false
+	}
+	switch {
+	case m.conn == nil:
+		m.conn, m.connInit = c, init
+		m.wakeLocked()
+		return m, true
+	case m.connInit == init && m.conn.LocalAddr().String() == c.RemoteAddr().String():
+		// The far end of our own dialed connection (both pair ends live
+		// in this instance): read from it, write on the dialed end.
+		return nil, true
+	case m.connInit == init, init.Less(m.connInit):
+		// Same initiator on a new socket (remote redialed after its old
+		// conn died), or a simultaneous open won by the smaller end:
+		// the inbound connection replaces the incumbent.
+		old := m.conn
+		m.conn, m.connInit = c, init
+		old.Close()
+		m.wakeLocked()
+		return m, true
+	default:
+		return nil, false // simultaneous open, incumbent wins: reject inbound
+	}
+}
+
+// --- pairMux -----------------------------------------------------------------
+
+// pairMux is the multiplexed link for one unordered peer pair. All
+// directed channels between the two ends share one connection; a single
+// writer goroutine drains the per-channel FIFO queues round-robin so no
+// channel can starve another, and each channel's frames enter the byte
+// stream in send order. Pure beacons bypass sequencing, coalesce in the
+// queue, and are written from a cached per-channel encoding — a
+// steady-state heartbeat costs no allocations at all.
+type pairMux struct {
+	t   *TCP
+	key pairKey
+
+	mu       sync.Mutex
+	queues   map[chanKey]*muxQueue
+	rr       []chanKey // round-robin scan order over queues
+	rrNext   int
+	pending  int
+	conn     net.Conn   // established link: dialed here or adopted from accept
+	connInit ids.ProcID // which pair end initiated conn (simultaneous-open tie-break)
+	dialTo   ids.ProcID // the end this instance dials to establish the link
+	stopped  bool
+
+	wake chan struct{}
+	quit chan struct{}
+}
+
+// muxQueue is one directed channel's FIFO of queued frames.
+type muxQueue struct {
+	frames  []muxFrame
+	head    int
+	seq     uint64       // last mux sequence stamped on this channel
+	beacons map[byte]int // queued beacon frames per kind (for coalescing)
+}
+
+type muxFrame struct {
+	f          Frame
+	beacon     bool
+	beaconKind byte // valid when beacon: distinct beacon types never coalesce
+}
+
+func (m *pairMux) other(p ids.ProcID) ids.ProcID {
+	if p == m.key.a {
+		return m.key.b
+	}
+	return m.key.a
+}
+
+func (m *pairMux) wakeLocked() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue appends one message to its channel's FIFO queue. Beacons
+// coalesce per kind: a channel never holds more than one undelivered
+// beacon of a given type, because a second one would carry no extra
+// liveness information.
+func (m *pairMux) enqueue(k chanKey, msg Message) {
+	c := binCodecFor(msg.Payload)
+	beacon := c != nil && c.beacon && msg.MsgID == 0
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		m.t.stats.closed.Add(1)
+		return
+	}
+	q := m.queues[k]
+	if q == nil {
+		q = &muxQueue{}
+		m.queues[k] = q
+		m.rr = append(m.rr, k)
+	}
+	if beacon && q.beacons[c.kind] > 0 {
+		m.mu.Unlock()
+		return // coalesced into the same-kind beacon already queued
+	}
+	if len(q.frames)-q.head >= tcpQueueDepth {
+		m.mu.Unlock()
+		m.t.stats.queueSaturated.Add(1)
+		return
+	}
+	f := Frame{From: k.from.String(), To: k.to.String(), MsgID: msg.MsgID, Body: msg.Payload}
+	mf := muxFrame{f: f, beacon: beacon}
+	if beacon {
+		if q.beacons == nil {
+			q.beacons = make(map[byte]int, 1)
+		}
+		q.beacons[c.kind]++
+		mf.beaconKind = c.kind
+	} else {
+		q.seq++
+		mf.f.Seq = q.seq
+	}
+	q.frames = append(q.frames, mf)
+	m.pending++
+	m.mu.Unlock()
+	m.wakeLocked()
+}
+
+// next pops the next frame to write, scanning channels round-robin from
+// just past the last one served.
+func (m *pairMux) next() (muxFrame, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending == 0 {
+		return muxFrame{}, false
+	}
+	n := len(m.rr)
+	for i := 0; i < n; i++ {
+		slot := (m.rrNext + i) % n
+		q := m.queues[m.rr[slot]]
+		if q.head == len(q.frames) {
+			continue
+		}
+		mf := q.frames[q.head]
+		q.frames[q.head] = muxFrame{}
+		q.head++
+		if q.head == len(q.frames) {
+			q.frames, q.head = q.frames[:0], 0
+		}
+		if mf.beacon {
+			q.beacons[mf.beaconKind]--
+		}
+		m.pending--
+		m.rrNext = (slot + 1) % n
+		return mf, true
+	}
+	return muxFrame{}, false
+}
+
+// run is the pair's writer goroutine: it drains the channel queues over a
+// buffered stream, flushing whenever the queues empty, dialing lazily and
+// retrying each frame once on a fresh connection.
+func (m *pairMux) run() {
+	defer m.t.wg.Done()
+	var (
+		cur       net.Conn
+		bw        *bufio.Writer
+		unflushed int64                // frames written into bw since its last successful flush
+		beacons   map[beaconKey][]byte // cached beacon encodings per channel and kind
+	)
+	// lose counts the frames sitting in a dying buffer: like bytes in a
+	// dead peer's kernel buffer they are gone, but unlike those they are
+	// observable here, so they land in WriteFailed.
+	lose := func() {
+		m.t.stats.writeFailed.Add(unflushed)
+		unflushed = 0
+	}
+	flush := func() {
+		if bw != nil && bw.Buffered() > 0 {
+			if err := bw.Flush(); err != nil {
+				lose()
+				m.dropConn(cur)
+				cur, bw = nil, nil
+			}
+		}
+		unflushed = 0
+	}
+	for {
+		mf, ok := m.next()
+		if !ok {
+			flush()
+			select {
+			case <-m.quit:
+				return
+			case <-m.wake:
+				continue
+			}
+		}
+		reason := dropWriteFailed
+		for attempt := 0; attempt < 2; attempt++ {
+			c, why := m.ensureConn()
+			if c == nil {
+				reason = why
+				if bw != nil {
+					lose()
+				}
+				cur, bw = nil, nil
+				break
+			}
+			if c != cur {
+				if bw != nil {
+					lose() // an adopted conn replaced cur mid-stream: its buffer died with it
+				}
+				cur, bw = c, bufio.NewWriterSize(c, 32<<10)
+			}
+			var err error
+			if mf.beacon {
+				err = writeCachedBeacon(bw, &beacons, mf.beaconKind, mf.f)
+			} else {
+				err = WriteFrame(bw, mf.f)
+			}
+			if err == nil {
+				unflushed++
+				reason = dropNone
+				break
+			}
+			lose()
+			m.dropConn(c)
+			cur, bw = nil, nil
+		}
+		if reason != dropNone {
+			m.t.stats.drop(reason)
 		}
 	}
 }
+
+// beaconKey names one beacon type's traffic on one directed channel.
+type beaconKey struct {
+	ch   chanKey
+	kind byte
+}
+
+// writeCachedBeacon writes a beacon frame from a per-(channel, kind)
+// cache of its encoded bytes: a given beacon type is identical every
+// time (no MsgID, no mux sequence), so the steady-state heartbeat path
+// allocates nothing.
+func writeCachedBeacon(w *bufio.Writer, cache *map[beaconKey][]byte, kind byte, f Frame) error {
+	from, err := ids.Parse(f.From)
+	if err != nil {
+		return err
+	}
+	to, err := ids.Parse(f.To)
+	if err != nil {
+		return err
+	}
+	k := beaconKey{ch: chanKey{from, to}, kind: kind}
+	if *cache == nil {
+		*cache = make(map[beaconKey][]byte, 2)
+	}
+	b, ok := (*cache)[k]
+	if !ok {
+		body, err := AppendFrame(make([]byte, 4), f) // 4-byte prefix + body, one Write
+		if err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
+		b = body
+		(*cache)[k] = b
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ensureConn returns the pair's connection, dialing (and introducing the
+// link with a muxHello) if none is established. A connection adopted from
+// the accept side while we dialed wins — the dialed socket is closed.
+func (m *pairMux) ensureConn() (net.Conn, dropReason) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return nil, dropClosed
+	}
+	if m.conn != nil {
+		c := m.conn
+		m.mu.Unlock()
+		return c, dropNone
+	}
+	dialTo := m.dialTo
+	init := m.other(dialTo)
+	m.mu.Unlock()
+
+	t := m.t
+	t.mu.RLock()
+	addr, ok := t.addrs[dialTo]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, dropUnknownPeer
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, dropDialFailed
+	}
+	if err := WriteFrame(c, Frame{From: init.String(), To: dialTo.String(), Body: muxHello{}}); err != nil {
+		c.Close()
+		return nil, dropDialFailed
+	}
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		c.Close()
+		return nil, dropClosed
+	}
+	if m.conn != nil { // adopted while we dialed: the established link wins
+		adopted := m.conn
+		m.mu.Unlock()
+		c.Close()
+		return adopted, dropNone
+	}
+	m.conn, m.connInit = c, init
+	m.mu.Unlock()
+	t.wg.Add(1)
+	go t.readConn(c, nil, m) // the reverse direction rides the same socket
+	return c, dropNone
+}
+
+// dropConn clears c from the mux if it is the established connection and
+// closes it; the writer redials (or picks up an adopted replacement) on
+// the next frame.
+func (m *pairMux) dropConn(c net.Conn) {
+	m.mu.Lock()
+	if m.conn == c {
+		m.conn, m.connInit = nil, ids.Nil
+	}
+	m.mu.Unlock()
+	c.Close()
+}
+
+// stop tears the mux down: queued frames are discarded and the writer
+// exits.
+func (m *pairMux) stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	c := m.conn
+	m.conn = nil
+	m.queues = make(map[chanKey]*muxQueue)
+	m.rr, m.pending = nil, 0
+	m.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	close(m.quit)
+}
+
+// --- tcpEndpoint -------------------------------------------------------------
 
 func (ep *tcpEndpoint) track(c net.Conn) bool {
 	ep.mu.Lock()

@@ -5,15 +5,20 @@
 //
 //   - Inmem: direct in-process delivery, the seed's original behavior and
 //     the default for tests and single-process deployments,
-//   - TCP: real sockets on loopback or a LAN, one length-prefixed gob
-//     stream per directed channel, with reconnect,
+//   - TCP: real sockets on loopback or a LAN, one multiplexed
+//     length-prefixed binary stream per unordered peer pair (channel-tagged
+//     frames, per-channel FIFO queues behind one writer), with reconnect,
 //   - Lossy: an adversarial datagram link (loss, duplication, delay)
 //     repaired by the alternating-bit protocol of internal/channel — the
 //     paper's §3 claim that reliable FIFO channels are implementable
 //     rather than assumed, demonstrated end-to-end.
 package transport
 
-import "procgroup/internal/ids"
+import (
+	"sync/atomic"
+
+	"procgroup/internal/ids"
+)
 
 // Message is one transport-level datagram: a protocol payload plus the
 // trace-correlation id assigned by the sender (0 marks unrecorded
@@ -51,6 +56,80 @@ type Transport interface {
 	Unregister(p ids.ProcID)
 	// Send transmits m on the directed channel from → to.
 	Send(from, to ids.ProcID, m Message)
+	// Stats reports the per-reason drop counters accumulated so far.
+	Stats() Stats
 	// Close shuts the transport down and releases its resources.
 	Close() error
+}
+
+// Stats counts messages a transport dropped, by reason. Drops are normal
+// operation for a datagram-semantics substrate — the counters exist so an
+// operator can tell a congested link (QueueSaturated) from a dead or
+// unknown host (DialFailed / UnknownPeer), which are indistinguishable
+// from silence at the protocol layer.
+type Stats struct {
+	// QueueSaturated counts sends dropped because a channel's bounded
+	// outbound queue was full: the peer was unreachable (or slow) long
+	// enough for traffic to back up.
+	QueueSaturated int64
+	// UnknownPeer counts sends dropped because the destination had no
+	// known address or registered handler.
+	UnknownPeer int64
+	// DialFailed counts frames dropped because the destination endpoint
+	// could not be reached — the dead-host case.
+	DialFailed int64
+	// WriteFailed counts frames dropped after exhausting write retries
+	// on a connection that broke mid-stream.
+	WriteFailed int64
+	// Closed counts sends issued after the transport (or the channel's
+	// link) was closed.
+	Closed int64
+}
+
+// Dropped sums every drop reason.
+func (s Stats) Dropped() int64 {
+	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed + s.Closed
+}
+
+// dropReason indexes statCounters; dropNone marks a delivered frame.
+type dropReason int
+
+const (
+	dropNone dropReason = iota
+	dropQueueSaturated
+	dropUnknownPeer
+	dropDialFailed
+	dropWriteFailed
+	dropClosed
+)
+
+// statCounters is the shared atomic implementation behind every
+// transport's Stats.
+type statCounters struct {
+	queueSaturated, unknownPeer, dialFailed, writeFailed, closed atomic.Int64
+}
+
+func (c *statCounters) drop(r dropReason) {
+	switch r {
+	case dropQueueSaturated:
+		c.queueSaturated.Add(1)
+	case dropUnknownPeer:
+		c.unknownPeer.Add(1)
+	case dropDialFailed:
+		c.dialFailed.Add(1)
+	case dropWriteFailed:
+		c.writeFailed.Add(1)
+	case dropClosed:
+		c.closed.Add(1)
+	}
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		QueueSaturated: c.queueSaturated.Load(),
+		UnknownPeer:    c.unknownPeer.Load(),
+		DialFailed:     c.dialFailed.Load(),
+		WriteFailed:    c.writeFailed.Load(),
+		Closed:         c.closed.Load(),
+	}
 }

@@ -271,6 +271,205 @@ func TestTCPMisaddressedFrameDropped(t *testing.T) {
 	}
 }
 
+// TestTCPOneConnectionPerPair is the mux acceptance test: a fully
+// connected group of n processes exchanging traffic on every directed
+// channel must open exactly n(n−1)/2 connections — one per unordered peer
+// pair — not one per directed channel.
+func TestTCPOneConnectionPerPair(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	const n = 4
+	procs := make([]ids.ProcID, n)
+	sinks := make([]sink, n)
+	for i := range procs {
+		procs[i] = ids.Named(string(rune('a' + i)))
+		if err := tr.Register(procs[i], sinks[i].handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 0
+	for i, p := range procs {
+		for _, q := range procs {
+			if p == q {
+				continue
+			}
+			tr.Send(p, q, Message{MsgID: int64(i + 1), Payload: fifoPayload{N: i}})
+			want++
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		got := 0
+		for i := range sinks {
+			got += sinks[i].len()
+		}
+		return got >= want
+	}, "all-to-all traffic")
+
+	pairs := n * (n - 1) / 2
+	tr.mu.RLock()
+	muxes := len(tr.pairs)
+	conns := 0
+	for _, m := range tr.pairs {
+		m.mu.Lock()
+		if m.conn != nil {
+			conns++
+		}
+		m.mu.Unlock()
+	}
+	accepted := 0
+	for _, ep := range tr.locals {
+		ep.mu.Lock()
+		accepted += len(ep.conns)
+		ep.mu.Unlock()
+	}
+	tr.mu.RUnlock()
+	if muxes != pairs {
+		t.Errorf("%d pair muxes for %d procs, want %d", muxes, n, pairs)
+	}
+	if conns != pairs {
+		t.Errorf("%d established connections, want exactly %d (one per unordered pair)", conns, pairs)
+	}
+	// Every pair connection terminates in exactly one accepted socket, so
+	// a per-directed-channel design (2 per pair) would double this.
+	if accepted != pairs {
+		t.Errorf("%d accepted sockets, want %d", accepted, pairs)
+	}
+}
+
+// TestTCPStatsCountDropReasons: frames lost to unknown peers, saturated
+// queues, and post-close sends must land in distinct counters.
+func TestTCPStatsCountDropReasons(t *testing.T) {
+	oldDepth := tcpQueueDepth
+	tcpQueueDepth = 1
+	defer func() { tcpQueueDepth = oldDepth }()
+
+	tr := NewTCP()
+	a, b, ghost := ids.Named("a"), ids.Named("b"), ids.Named("ghost")
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown peer: no address at all.
+	tr.Send(a, ghost, Message{MsgID: 1, Payload: fifoPayload{}})
+	waitFor(t, 5*time.Second, func() bool { return tr.Stats().UnknownPeer >= 1 }, "unknown-peer drop")
+
+	// Saturation: the writer blocks dialing an unroutable address while
+	// more sends than the queue holds pile up behind it.
+	tr.AddPeer(b, "10.255.255.1:9") // RFC 1918 blackhole: dial hangs until timeout
+	for i := 0; i < 10; i++ {
+		tr.Send(a, b, Message{MsgID: int64(i + 2), Payload: fifoPayload{N: i}})
+	}
+	waitFor(t, 10*time.Second, func() bool { return tr.Stats().QueueSaturated >= 1 }, "queue-saturated drop")
+
+	tr.Close()
+	tr.Send(a, ghost, Message{MsgID: 99, Payload: fifoPayload{}})
+	if got := tr.Stats().Closed; got < 1 {
+		t.Errorf("Closed = %d after post-close send, want ≥ 1", got)
+	}
+	if total := tr.Stats().Dropped(); total < 3 {
+		t.Errorf("Dropped() = %d, want the sum of all reasons (≥ 3)", total)
+	}
+}
+
+// TestTCPStatsCountDialFailures: sends to a dead (closed) endpoint must
+// surface as DialFailed, not vanish into the same bucket as congestion.
+func TestTCPStatsCountDialFailures(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Unregister(b) // b's listener closes; its address goes stale
+	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{}})
+	waitFor(t, 5*time.Second, func() bool { return tr.Stats().DialFailed >= 1 }, "dial-failed drop")
+}
+
+// TestInmemStats: the in-process transport distinguishes unknown peers
+// from post-close sends too.
+func TestInmemStats(t *testing.T) {
+	tr := NewInmem()
+	a := ids.Named("a")
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(a, ids.Named("ghost"), Message{MsgID: 1, Payload: fifoPayload{}})
+	if got := tr.Stats().UnknownPeer; got != 1 {
+		t.Errorf("UnknownPeer = %d, want 1", got)
+	}
+	tr.Close()
+	tr.Send(a, a, Message{MsgID: 2, Payload: fifoPayload{}})
+	if got := tr.Stats().Closed; got != 1 {
+		t.Errorf("Closed = %d, want 1", got)
+	}
+}
+
+// TestLossyStatsCountUnknownPeer: datagrams in flight to an unregistered
+// destination are counted when they land.
+func TestLossyStatsCountUnknownPeer(t *testing.T) {
+	tr := NewLossy(LossyOptions{Loss: 0.0001, Dup: 0.0001})
+	defer tr.Close()
+	a := ids.Named("a")
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(a, ids.Named("ghost"), Message{MsgID: 1, Payload: fifoPayload{}})
+	waitFor(t, 10*time.Second, func() bool { return tr.Stats().UnknownPeer >= 1 }, "unknown-peer drop")
+}
+
+// TestSendCloseRace hammers Send from several goroutines while Close runs
+// concurrently, on all three transports. The close path must be
+// race-clean (this test exists for -race) and must never panic or wedge a
+// sender.
+func TestSendCloseRace(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		make func() Transport
+	}{
+		{"inmem", func() Transport { return NewInmem() }},
+		{"tcp", func() Transport { return NewTCP() }},
+		{"lossy", func() Transport { return NewLossy(LossyOptions{}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.make()
+			procs := []ids.ProcID{ids.Named("a"), ids.Named("b"), ids.Named("c")}
+			for _, p := range procs {
+				if err := tr.Register(p, func(ids.ProcID, Message) {}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						from := procs[i%len(procs)]
+						to := procs[(i+1+g)%len(procs)]
+						tr.Send(from, to, Message{MsgID: int64(i + 1), Payload: fifoPayload{N: i}})
+					}
+				}(g)
+			}
+			time.Sleep(20 * time.Millisecond) // let traffic flow before the rug-pull
+			if err := tr.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			close(stop)
+			wg.Wait()
+			tr.Send(procs[0], procs[1], Message{MsgID: 1, Payload: fifoPayload{}}) // post-close send must not panic
+		})
+	}
+}
+
 // TestLossyInvertedDelayBoundsDoNotPanic: MaxDelay below MinDelay must be
 // clamped, not passed through to a negative randomness span.
 func TestLossyInvertedDelayBoundsDoNotPanic(t *testing.T) {
@@ -290,4 +489,47 @@ func TestLossyInvertedDelayBoundsDoNotPanic(t *testing.T) {
 	}
 	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{N: 1}})
 	waitFor(t, 10*time.Second, func() bool { return s.len() == 1 }, "delivery with clamped bounds")
+}
+
+// TestBeaconCoalescingInQueue: beacons queued behind a stuck link
+// coalesce to at most one in flight plus one queued — a second
+// undelivered beacon carries no extra liveness information — while
+// protocol frames are all retained in FIFO order.
+func TestBeaconCoalescingInQueue(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	tr.AddPeer(b, "10.255.255.1:9") // blackhole: the writer wedges in dial
+	for i := 0; i < 50; i++ {
+		tr.Send(a, b, Message{Payload: hb{}}) // hb is a registered beacon (bench_test.go)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Send(a, b, Message{MsgID: int64(i + 1), Payload: fifoPayload{N: i}})
+	}
+	tr.mu.RLock()
+	m := tr.pairs[pairOf(a, b)]
+	tr.mu.RUnlock()
+	m.mu.Lock()
+	pending := m.pending
+	beacons := 0
+	for _, q := range m.queues {
+		for _, n := range q.beacons {
+			beacons += n
+		}
+	}
+	m.mu.Unlock()
+	if beacons > 1 {
+		t.Errorf("%d beacons queued, want ≤ 1 (coalesced)", beacons)
+	}
+	// 50 protocol frames plus ≤1 coalesced beacon, minus the ≤2 the
+	// writer may have popped before wedging.
+	if pending < 48 || pending > 51 {
+		t.Errorf("pending = %d, want the full protocol backlog (≈50) and one beacon", pending)
+	}
+	if sat := tr.Stats().QueueSaturated; sat != 0 {
+		t.Errorf("coalescing counted as drops: QueueSaturated = %d", sat)
+	}
 }

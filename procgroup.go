@@ -62,6 +62,9 @@ type (
 	// GroupOptions.Transport to choose how the group's channels are
 	// realized (nil = in-process delivery).
 	Transport = transport.Transport
+	// TransportStats is a transport's per-reason drop accounting, read
+	// from a live group with Group.TransportStats.
+	TransportStats = transport.Stats
 	// TCPTransport runs the group's channels over real TCP sockets.
 	TCPTransport = transport.TCP
 	// LossyTransportOptions shapes the adversarial datagram link of
@@ -73,10 +76,12 @@ type (
 // (StartGroup uses one automatically when GroupOptions.Transport is nil).
 func NewInmemTransport() Transport { return transport.NewInmem() }
 
-// NewTCPTransport builds a transport running every group channel over its
-// own TCP connection on loopback — the paper's asynchronous network of
-// reliable FIFO channels (§2.1) realized with real sockets. Use the
-// returned value's AddPeer/Addr to span OS processes or hosts.
+// NewTCPTransport builds a transport running the group's channels over
+// real TCP sockets on loopback — the paper's asynchronous network of
+// reliable FIFO channels (§2.1) made literal. Every unordered peer pair
+// shares one multiplexed connection carrying channel-tagged binary
+// frames, so an n-process group opens n(n−1)/2 sockets. Use the returned
+// value's AddPeer/Addr to span OS processes or hosts.
 func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
 
 // NewLossyTransport builds a transport whose links lose, duplicate and
