@@ -1,0 +1,348 @@
+// E16: failure-detection policy A/B on the live runtime. E15 showed
+// exclusion latency is detector-bound (the agreement rounds cost
+// microseconds; the fixed 20ms suspect-after threshold dominates), which
+// is the paper's §2.2 point that agreement time tracks failure-detection
+// latency. This experiment measures the lever that observation exposes:
+// the fixed-timeout detector versus the adaptive φ-accrual detector,
+// under increasing live link chaos (delivery jitter + beacon loss),
+// scoring mean detection→exclusion latency against the false-suspicion
+// rate, with the GMP checker certifying every run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"procgroup/internal/check"
+	"procgroup/internal/event"
+	"procgroup/internal/fd"
+	"procgroup/internal/ids"
+	"procgroup/internal/live"
+	"procgroup/internal/transport"
+)
+
+// fd experiment flags.
+var (
+	fdOut   string
+	fdQuiet time.Duration
+	fdKills int
+)
+
+func fdFlags() {
+	flag.StringVar(&fdOut, "fd-out", "", "write the fd experiment's results as JSON to this path (e.g. BENCH_fd.json)")
+	flag.DurationVar(&fdQuiet, "fd-quiet", 2*time.Second, "quiet-phase length per arm (false-suspicion observation window)")
+	flag.IntVar(&fdKills, "fd-kills", 8, "kill/rejoin cycles per arm (detection-latency samples)")
+}
+
+// fdHeartbeat is the beacon interval of every arm; the fixed detector's
+// threshold is the live runtime's 20ms default (10 intervals), matching
+// the configuration E15 measured.
+const (
+	fdHeartbeat    = 2 * time.Millisecond
+	fdSuspectAfter = 20 * time.Millisecond
+)
+
+// fdProfile is one chaos configuration.
+type fdProfile struct {
+	Name string    `json:"name"`
+	Link ChaosSpec `json:"link"`
+}
+
+// ChaosSpec is the JSON-friendly mirror of transport.ChaosLink.
+type ChaosSpec struct {
+	JitterMs   float64 `json:"jitter_ms"`
+	BeaconLoss float64 `json:"beacon_loss"`
+}
+
+func (s ChaosSpec) link() transport.ChaosLink {
+	return transport.ChaosLink{
+		Jitter:     time.Duration(s.JitterMs * float64(time.Millisecond)),
+		BeaconLoss: s.BeaconLoss,
+	}
+}
+
+// fdArm is one (detector, profile) measurement.
+type fdArm struct {
+	Detector string `json:"detector"`
+	Profile  string `json:"profile"`
+	Kills    int    `json:"kills"`
+
+	MeanDetectMs float64 `json:"mean_detect_ms"`
+	MinDetectMs  float64 `json:"min_detect_ms"`
+	MaxDetectMs  float64 `json:"max_detect_ms"`
+
+	// FalseSuspects is the number of distinct never-killed processes any
+	// node recorded a Faulty event for; FalseEvents counts the raw
+	// events (gossip fan-out included). The observation window is the
+	// whole arm (quiet phase + kill cycles).
+	FalseSuspects int `json:"false_suspects"`
+	FalseEvents   int `json:"false_events"`
+
+	CheckerOK bool `json:"checker_ok"`
+}
+
+// fdReport is the BENCH_fd.json schema.
+type fdReport struct {
+	GeneratedBy       string      `json:"generated_by"`
+	HeartbeatMs       float64     `json:"heartbeat_ms"`
+	FixedTimeoutMs    float64     `json:"fixed_suspect_after_ms"`
+	QuietMs           float64     `json:"quiet_ms"`
+	KillsPerArm       int         `json:"kills_per_arm"`
+	Profiles          []fdProfile `json:"profiles"`
+	Arms              []fdArm     `json:"arms"`
+	AdaptiveWinsUnder []string    `json:"adaptive_wins_under"`
+}
+
+func fdDetectors() []struct {
+	name    string
+	factory fd.Factory
+} {
+	return []struct {
+		name    string
+		factory fd.Factory
+	}{
+		{"fixed-20ms", fd.NewTimeoutFactory(fdSuspectAfter)},
+		{"accrual-phi8", fd.NewAccrualFactory(fd.AccrualOptions{
+			Phi:       8,
+			MinStdDev: 500 * time.Microsecond,
+			Fallback:  fdSuspectAfter,
+		})},
+	}
+}
+
+func fdProfiles() []fdProfile {
+	return []fdProfile{
+		{Name: "clean", Link: ChaosSpec{}},
+		{Name: "jitter-1x", Link: ChaosSpec{JitterMs: 2}},
+		{Name: "jitter-4x-loss", Link: ChaosSpec{JitterMs: 8, BeaconLoss: 0.10}},
+	}
+}
+
+// runFDArm boots a 5-node live group with the given detector over a
+// chaos-wrapped in-memory transport, observes a quiet phase, then runs
+// kill/rejoin cycles timing kill→converged-exclusion, and finally audits
+// the trace for spurious suspicions and GMP.
+func runFDArm(detName string, factory fd.Factory, prof fdProfile, seed int64) (fdArm, error) {
+	arm := fdArm{Detector: detName, Profile: prof.Name}
+	tr := transport.NewChaos(transport.NewInmem(), transport.ChaosOptions{
+		Seed:    seed,
+		Default: prof.Link.link(),
+	})
+	c := live.Start(live.Options{
+		N:              5,
+		HeartbeatEvery: fdHeartbeat,
+		SuspectAfter:   fdSuspectAfter,
+		Detector:       factory,
+		Transport:      tr,
+	})
+	defer c.Stop()
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		return arm, fmt.Errorf("bootstrap: %w", err)
+	}
+
+	// Quiet phase: nobody dies; every suspicion recorded here is false.
+	time.Sleep(fdQuiet)
+
+	killed := ids.NewSet()
+	var latencies []time.Duration
+	inc := uint32(0)
+	// A cycle that cannot converge (e.g. a false-suspicion cascade cost
+	// the group its majority — the §4.3 safe-blocking regime) ends the
+	// arm's sampling but keeps its partial data: that outcome is a
+	// finding, not a measurement error.
+	abort := func(cycle int, stage string, err error) {
+		fmt.Fprintf(os.Stderr, "fd arm %s/%s: cycle %d %s: %v (keeping %d samples)\n",
+			detName, prof.Name, cycle, stage, err, len(latencies))
+	}
+	for cycle := 0; cycle < fdKills; cycle++ {
+		v, err := c.WaitConverged(10 * time.Second)
+		if err != nil {
+			abort(cycle, "pre-kill", err)
+			break
+		}
+		// Kill the most junior member that is not the coordinator so the
+		// samples measure the two-phase exclusion path, not
+		// reconfiguration.
+		running := c.Running()
+		victim := ids.Nil
+		for i := len(running) - 1; i >= 0; i-- {
+			if running[i] != v.Mgr() {
+				victim = running[i]
+				break
+			}
+		}
+		if victim.IsNil() {
+			abort(cycle, "victim selection", fmt.Errorf("no non-coordinator member"))
+			break
+		}
+		start := time.Now()
+		c.Kill(victim)
+		killed.Add(victim)
+		if _, err := c.WaitConverged(10 * time.Second); err != nil {
+			abort(cycle, "post-kill", err)
+			break
+		}
+		latencies = append(latencies, time.Since(start))
+		// Refill the group so every cycle kills from the same size.
+		inc++
+		reborn := ids.ProcID{Site: victim.Site, Incarnation: victim.Incarnation + inc}
+		c.Join(reborn, c.Running()[0])
+		if _, err := c.WaitConverged(10 * time.Second); err != nil {
+			abort(cycle, "post-join", err)
+			break
+		}
+		// Pace the cycles so every observer's inter-arrival window is
+		// primed with the reborn member's beacons before it can become
+		// the next victim: the experiment measures steady-state
+		// detection latency, not the detector's bootstrap fallback
+		// (which is the fixed timeout by construction).
+		time.Sleep(100 * fdHeartbeat)
+	}
+	if len(latencies) == 0 {
+		return arm, fmt.Errorf("no detection-latency samples")
+	}
+
+	// Settle before auditing: GMP-5 is a liveness property (every
+	// suspicion must resolve in a removal), so a trace snapshotted while
+	// a late false suspicion's exclusion is still in flight would read
+	// as a violation. Wait until the group is converged and no new
+	// Faulty events appeared across a quiet interval.
+	countFaulty := func() int {
+		n := 0
+		for _, e := range c.Recorder().Events() {
+			if e.Kind == event.Faulty {
+				n++
+			}
+		}
+		return n
+	}
+	settleDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(settleDeadline) {
+		before := countFaulty()
+		if _, err := c.WaitConverged(5 * time.Second); err != nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+		if countFaulty() == before {
+			break
+		}
+	}
+
+	// Audit the trace: spurious = Faulty events naming a process we never
+	// killed (a falsely suspected process may quit from the resulting
+	// exclusion, but it was never actually dead).
+	falseTargets := ids.NewSet()
+	for _, e := range c.Recorder().Events() {
+		if e.Kind == event.Faulty && !killed.Has(e.Other) {
+			falseTargets.Add(e.Other)
+			arm.FalseEvents++
+		}
+	}
+	arm.FalseSuspects = len(falseTargets.Sorted())
+	arm.Kills = len(latencies)
+
+	var sum time.Duration
+	min, max := latencies[0], latencies[0]
+	for _, l := range latencies {
+		sum += l
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	arm.MeanDetectMs = ms(sum / time.Duration(len(latencies)))
+	arm.MinDetectMs = ms(min)
+	arm.MaxDetectMs = ms(max)
+
+	running := ids.NewSet(c.Running()...)
+	rep := check.Run(check.Input{
+		Recorder: c.Recorder(),
+		Initial:  ids.Gen(5),
+		Alive:    running.Has,
+	})
+	arm.CheckerOK = rep.OK()
+	if !arm.CheckerOK {
+		fmt.Fprintf(os.Stderr, "fd arm %s/%s checker violations:\n%v\n", detName, prof.Name, rep)
+	}
+	return arm, nil
+}
+
+func fdPerf(seed int64) {
+	fmt.Println("== E16 · failure-detection policy A/B: fixed timeout vs φ-accrual under live chaos ==")
+	rep := fdReport{
+		GeneratedBy:    "gmpbench -exp fd",
+		HeartbeatMs:    float64(fdHeartbeat) / float64(time.Millisecond),
+		FixedTimeoutMs: float64(fdSuspectAfter) / float64(time.Millisecond),
+		QuietMs:        float64(fdQuiet) / float64(time.Millisecond),
+		KillsPerArm:    fdKills,
+		Profiles:       fdProfiles(),
+	}
+
+	byProfile := map[string]map[string]fdArm{}
+	for _, prof := range fdProfiles() {
+		byProfile[prof.Name] = map[string]fdArm{}
+		for _, det := range fdDetectors() {
+			arm, err := runFDArm(det.name, det.factory, prof, seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fd arm %s/%s: %v\n", det.name, prof.Name, err)
+				continue
+			}
+			rep.Arms = append(rep.Arms, arm)
+			byProfile[prof.Name][det.name] = arm
+		}
+	}
+
+	w := tw()
+	fmt.Fprintln(w, "profile\tdetector\tmean excl (ms)\tmin\tmax\tfalse suspects\tGMP")
+	for _, prof := range fdProfiles() {
+		for _, det := range fdDetectors() {
+			arm, ok := byProfile[prof.Name][det.name]
+			if !ok {
+				continue
+			}
+			verdict := "ok"
+			if !arm.CheckerOK {
+				verdict = "VIOLATED"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.1f\t%.1f\t%.1f\t%d\t%s\n",
+				arm.Profile, arm.Detector, arm.MeanDetectMs, arm.MinDetectMs, arm.MaxDetectMs,
+				arm.FalseSuspects, verdict)
+		}
+	}
+	w.Flush()
+
+	// The acceptance comparison: profiles where the adaptive detector is
+	// strictly faster at an equal-or-lower false-suspicion count.
+	for _, prof := range fdProfiles() {
+		fixed, okF := byProfile[prof.Name]["fixed-20ms"]
+		adaptive, okA := byProfile[prof.Name]["accrual-phi8"]
+		if okF && okA && adaptive.MeanDetectMs < fixed.MeanDetectMs &&
+			adaptive.FalseSuspects <= fixed.FalseSuspects &&
+			adaptive.CheckerOK && fixed.CheckerOK {
+			rep.AdaptiveWinsUnder = append(rep.AdaptiveWinsUnder, prof.Name)
+		}
+	}
+	fmt.Printf("adaptive wins (faster, ≤ false suspicions, GMP ok) under: %v\n", rep.AdaptiveWinsUnder)
+	fmt.Println("note: the fixed detector's floor is its threshold (20ms); the accrual detector's")
+	fmt.Println("      floor is the link's measured behavior — §2.2's detector-bound agreement time,")
+	fmt.Println("      with the bound itself now adaptive.")
+
+	if fdOut != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fd report:", err)
+			return
+		}
+		if err := os.WriteFile(fdOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "fd report:", err)
+			return
+		}
+		fmt.Println("wrote", fdOut)
+	}
+}

@@ -9,6 +9,8 @@
 //	gmpbench -seed 7      # change the schedule seed
 //	gmpbench -exp transport -transport-out BENCH_transport.json
 //	                      # E15 wire-path microbenches, machine-readable
+//	gmpbench -exp fd -fd-out BENCH_fd.json
+//	                      # E16 failure-detector A/B under live chaos
 package main
 
 import (
@@ -22,9 +24,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, fd")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
+	fdFlags()
 	flag.Parse()
 
 	run := func(name string, fn func(int64)) {
@@ -42,6 +45,7 @@ func main() {
 	run("cuts", cuts)
 	run("ablation", ablation)
 	run("transport", transportPerf)
+	run("fd", fdPerf)
 }
 
 func tw() *tabwriter.Writer {

@@ -1,0 +1,63 @@
+package procgroup_test
+
+// Public-API coverage of detector selection and the chaos harness: a live
+// group under the adaptive φ-accrual detector, over a chaos-degraded
+// transport, must exclude a killed member — everything reachable from the
+// root package alone, as an application would wire it.
+
+import (
+	"testing"
+	"time"
+
+	"procgroup"
+)
+
+func TestAccrualDetectorOverChaosTransportFacade(t *testing.T) {
+	chaos := procgroup.NewChaosTransport(procgroup.NewInmemTransport(), procgroup.ChaosTransportOptions{
+		Seed: 1,
+		Default: procgroup.ChaosLink{
+			Jitter:     5 * time.Millisecond,
+			BeaconLoss: 0.05,
+		},
+	})
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              5,
+		HeartbeatEvery: 5 * time.Millisecond,
+		// Wide σ floor: φ = 8 sits ~5.6σ past the mean, and -race
+		// slowdowns plus the 5ms chaos jitter need ~30ms of patience
+		// before a stall may be read as death.
+		Detector: procgroup.NewAccrualDetector(procgroup.AccrualDetectorOptions{
+			Phi:       8,
+			MinStdDev: 5 * time.Millisecond,
+			Fallback:  100 * time.Millisecond,
+		}),
+		Transport: chaos,
+	})
+	defer g.Stop()
+
+	if _, err := g.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("bootstrap under chaos: %v", err)
+	}
+	victim := procgroup.Named("p5")
+	g.Kill(victim)
+	v, err := g.WaitConverged(15 * time.Second)
+	if err != nil {
+		t.Fatalf("exclusion under chaos: %v", err)
+	}
+	if v.Has(victim) {
+		t.Errorf("killed member still in %v", v)
+	}
+	if g.TransportStats().ChaosInjected == 0 {
+		t.Error("chaos transport injected no drops despite 5% beacon loss")
+	}
+
+	// Runtime reconfiguration: partition the new coordinator's link to
+	// one member asymmetrically and heal it; the group must stay converged
+	// afterwards (a short half-open glitch is below everyone's patience).
+	chaos.Partition(procgroup.Named("p1"), procgroup.Named("p2"))
+	time.Sleep(10 * time.Millisecond)
+	chaos.Heal(procgroup.Named("p1"), procgroup.Named("p2"))
+	if _, err := g.WaitConverged(10 * time.Second); err != nil {
+		t.Fatalf("after partition heal: %v", err)
+	}
+}

@@ -1,10 +1,3 @@
-// Package baseline hosts the comparison protocols of the evaluation: the
-// one-phase and two-phase strawmen the paper proves inadequate (§7.3,
-// Claims 7.1 and 7.2) and a symmetric all-to-all membership protocol in the
-// style the paper attributes to Bruso — "an order of magnitude more
-// messages in all situations" (§1). This file provides the shared harness
-// that wires any baseline node onto the simulated substrate so the same
-// checker and counters apply to all of them.
 package baseline
 
 import (

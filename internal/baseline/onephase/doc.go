@@ -1,0 +1,10 @@
+// Package onephase is the one-phase membership strawman of Claim 7.1: a
+// coordinator (or self-appointed successor) simply broadcasts removals and
+// everyone applies them on receipt — no acknowledgement, no agreement
+// round. The paper proves this cannot solve GMP when the coordinator can
+// fail: cross-partition suspicions make two processes broadcast conflicting
+// removals that property S1 confines to disjoint audiences, so local views
+// for the same version number diverge (GMP-3 is violated). The tests in
+// this package reproduce exactly that run and convict it with the shared
+// checker.
+package onephase

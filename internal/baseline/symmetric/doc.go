@@ -1,0 +1,9 @@
+// Package symmetric is the comparison protocol of §1/§8: a fully symmetric
+// membership service in the style the paper attributes to Bruso [5] — every
+// process behaves identically, flooding accusations to the whole group and
+// excluding a member once a majority has accused it. It is correct for
+// well-separated failures and needs no coordinator, but each exclusion
+// costs (n−1)² messages where the asymmetric GMP protocol pays 3n−5 — the
+// "order of magnitude more messages in all situations" the paper cites.
+// Benchmarks in the repository root regenerate that comparison.
+package symmetric

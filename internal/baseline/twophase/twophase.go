@@ -1,15 +1,3 @@
-// Package twophase demonstrates Claim 7.2: a reconfiguration protocol with
-// only two phases (interrogate → commit, no proposal round) cannot solve
-// GMP when the coordinator can fail. Without Phase II, an initiator's
-// choice of update is never disseminated to a majority before it commits —
-// so a commit that reaches only processes which then crash is genuinely
-// invisible to every later reconfigurer, which will propose something else
-// for the same version number and violate GMP-3 (Figure 11).
-//
-// The protocol itself is the core GMP node with Config.TwoPhaseReconfig
-// set; this package contributes the adversarial schedule and the paired
-// verdicts: the two-phase variant is convicted by the checker on the very
-// schedule the three-phase algorithm survives.
 package twophase
 
 import (

@@ -1,8 +1,3 @@
-// Package causal implements the causality machinery of the paper's system
-// model (§2.1): Lamport's happens-before relation, realized with vector
-// clocks, and the notion of consistent cuts (runs closed under →). The
-// checker package uses it to reconstruct and verify the cuts c_x of
-// Theorem 6.1.
 package causal
 
 import (

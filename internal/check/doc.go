@@ -1,0 +1,6 @@
+// Package check verifies recorded runs against the paper's specification:
+// the six GMP properties of §2.3 and the consistent-cut structure of
+// Theorem 6.1. The checker is protocol-agnostic — it reads only the event
+// trace — which is what lets the same machinery certify the core protocol
+// and convict the §7.3 baselines.
+package check

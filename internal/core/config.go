@@ -26,6 +26,17 @@ type Env interface {
 	RecordInstall(ver member.Version, members []ids.ProcID)
 }
 
+// LevelRecorder is an optional Env extension. Environments whose failure
+// detector grades its suspicions (the live runtime's accrual detector
+// emits φ values) implement it so Faulty events recorded through
+// Node.SuspectWithLevel carry the detector's confidence into the trace;
+// environments without it fall back to the ungraded Record.
+type LevelRecorder interface {
+	// RecordLevel logs a protocol-internal event with the failure
+	// detector's suspicion level attached.
+	RecordLevel(k event.Kind, other ids.ProcID, level float64)
+}
+
 // Config tunes which variant of the algorithm a node runs.
 type Config struct {
 	// Compression enables §3.1's condensed rounds: a commit carrying a

@@ -1,18 +1,3 @@
-// Package core implements the paper's contribution: the asymmetric Group
-// Membership Protocol of Ricciardi & Birman (TR 91-1188). A Node is one
-// process of the group. It plays three roles over its lifetime:
-//
-//   - outer process: answers the coordinator's invitations and installs
-//     committed view changes (Fig. 9);
-//   - coordinator (Mgr): drives the two-phase update algorithm, compressed
-//     across successive rounds (Fig. 8);
-//   - reconfigurer: when every higher-ranked process is suspected, runs the
-//     three-phase Interrogate/Propose/Commit protocol that replaces a failed
-//     coordinator while preserving any invisibly committed update
-//     (Figs. 5, 6, 10).
-//
-// Nodes are single-threaded: the environment serializes message delivery,
-// suspicion inputs, and timers.
 package core
 
 import (
@@ -208,11 +193,18 @@ func (n *Node) Acknowledged() (op member.Op, ver member.Version, ok bool) {
 // Suspect is the F1 failure-detection input: execute faulty_p(q). The same
 // entry point serves F2 gossip (via applyFaulty) and the Table 1 initiation
 // timeout.
-func (n *Node) Suspect(q ids.ProcID) {
+func (n *Node) Suspect(q ids.ProcID) { n.SuspectWithLevel(q, 0) }
+
+// SuspectWithLevel is Suspect for environments whose failure detector
+// grades its output (§2.2 leaves the mechanism open; the live runtime's
+// accrual detector produces a φ value): level travels onto the recorded
+// Faulty event so traces show how confident the detector was when the
+// suspicion fired. Level 0 is an ungraded suspicion.
+func (n *Node) SuspectWithLevel(q ids.ProcID, level float64) {
 	if !n.alive || n.view == nil || q == n.id {
 		return
 	}
-	if !n.applyFaulty(q) {
+	if !n.applyFaultyLevel(q, level) {
 		return
 	}
 	// GMP-5: ask the coordinator to start the removal algorithm — unless
@@ -221,9 +213,13 @@ func (n *Node) Suspect(q ids.ProcID) {
 	n.step()
 }
 
-// applyFaulty records faulty_p(q): S1 isolation plus, if q is a view
+// applyFaulty records faulty_p(q) with no detector grade behind it (F2
+// gossip, commit-carried removals, the initiation timeout).
+func (n *Node) applyFaulty(q ids.ProcID) bool { return n.applyFaultyLevel(q, 0) }
+
+// applyFaultyLevel records faulty_p(q): S1 isolation plus, if q is a view
 // member, entry into Faulty(p). Returns false if q was already isolated.
-func (n *Node) applyFaulty(q ids.ProcID) bool {
+func (n *Node) applyFaultyLevel(q ids.ProcID, level float64) bool {
 	if q == n.id || n.isolated.Has(q) {
 		return false
 	}
@@ -238,7 +234,11 @@ func (n *Node) applyFaulty(q ids.ProcID) bool {
 	if n.view.Has(q) {
 		n.faulty.Add(q)
 	}
-	n.env.Record(event.Faulty, q)
+	if lr, ok := n.env.(LevelRecorder); ok && level != 0 {
+		lr.RecordLevel(event.Faulty, q, level)
+	} else {
+		n.env.Record(event.Faulty, q)
+	}
 	if q == n.awaitingReconf {
 		// Fig. 10: "await (Propose … ) or faulty_p(r); if faulty_p(r)
 		// then exit the protocol."

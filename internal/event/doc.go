@@ -1,0 +1,6 @@
+// Package event defines the event vocabulary of the paper's system model
+// (§2.1–§2.2): send/receive events plus the protocol-specific internal
+// events faulty_p(q), remove_p(q), add_p(q), quit_p, and view installations.
+// A recorded run (see internal/trace) is a sequence of these events, one
+// history per process — exactly the paper's notion of a system run.
+package event

@@ -1,8 +1,3 @@
-// Package event defines the event vocabulary of the paper's system model
-// (§2.1–§2.2): send/receive events plus the protocol-specific internal
-// events faulty_p(q), remove_p(q), add_p(q), quit_p, and view installations.
-// A recorded run (see internal/trace) is a sequence of these events, one
-// history per process — exactly the paper's notion of a system run.
 package event
 
 import (
@@ -101,6 +96,12 @@ type Event struct {
 	Ver member.Version
 	// Members is the resulting membership for InstallView.
 	Members []ids.ProcID
+	// Level is the failure detector's suspicion level at the moment a
+	// Faulty event fired — elapsed/threshold for the fixed-timeout
+	// detector, φ for the accrual detector. Zero for events whose
+	// suspicion did not come from a graded local detector (F2 gossip,
+	// oracle injection, simulator schedules).
+	Level float64
 	// Time is the (virtual or wall) time of the event.
 	Time int64
 	// Lamport is the event's Lamport timestamp.

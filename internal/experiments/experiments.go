@@ -1,8 +1,3 @@
-// Package experiments implements the evaluation runs of DESIGN.md's
-// experiment index E1–E14: one function per table/figure of the paper,
-// each returning the measured numbers next to the paper's closed-form
-// prediction. cmd/gmpbench renders them as tables; bench_test.go wraps
-// them as benchmarks; EXPERIMENTS.md records their output.
 package experiments
 
 import (

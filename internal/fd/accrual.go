@@ -1,0 +1,216 @@
+package fd
+
+// The φ-accrual detector (Hayashibara et al., "The φ accrual failure
+// detector", SRDS 2004 — see PAPERS.md for the lineage through Sens et
+// al.'s adaptive implementations): instead of a boolean built from one
+// global constant, maintain per-peer inter-arrival statistics and output a
+// continuous suspicion level φ = −log₁₀ P(silence this long | the peer is
+// alive). The threshold then adapts to each link's measured behavior — a
+// peer heartbeating every 2ms is suspected after a few ms of silence while
+// a jittery link earns proportionally more patience, which is precisely
+// the fix for E15's finding that exclusion latency is detector-bound.
+
+import (
+	"math"
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+// AccrualOptions tunes the φ-accrual detector. The zero value selects the
+// documented defaults.
+type AccrualOptions struct {
+	// Phi is the suspicion threshold: suspect q once φ(q) ≥ Phi.
+	// φ = 8 means "the chance a live peer stays silent this long is
+	// 10⁻⁸ under the fitted arrival distribution". Default 8.
+	Phi float64
+	// Window is the number of inter-arrival samples kept per peer.
+	// Default 128.
+	Window int
+	// MinSamples gates adaptivity: until a peer has contributed this
+	// many intervals, suspicion falls back to the fixed Fallback
+	// timeout. Default 3.
+	MinSamples int
+	// Fallback is the fixed silence threshold used before MinSamples
+	// intervals have been observed (and the bound Suspicion normalizes
+	// against during bootstrap). Default 200ms.
+	Fallback time.Duration
+	// MinStdDev floors the fitted standard deviation so a perfectly
+	// regular beacon stream cannot drive the distribution's tail to
+	// zero width (and every OS scheduling hiccup into a suspicion).
+	// Default 1ms.
+	MinStdDev time.Duration
+}
+
+func (o AccrualOptions) withDefaults() AccrualOptions {
+	if o.Phi <= 0 {
+		o.Phi = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 128
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 3
+	}
+	if o.Fallback <= 0 {
+		o.Fallback = 200 * time.Millisecond
+	}
+	if o.MinStdDev <= 0 {
+		o.MinStdDev = time.Millisecond
+	}
+	return o
+}
+
+// Accrual is the adaptive detector. One instance serves one process; all
+// methods run on that process's event loop (no locking).
+type Accrual struct {
+	opts  AccrualOptions
+	peers map[ids.ProcID]*arrivals
+}
+
+// arrivals is the per-peer sliding window of inter-arrival intervals with
+// incrementally maintained first and second moments. seen distinguishes a
+// peer whose last is real traffic from one merely registered by a
+// Suspect/track call: an interval is a cadence sample only when measured
+// from actual traffic.
+type arrivals struct {
+	last       time.Time
+	seen       bool
+	ring       []float64 // seconds
+	idx, n     int
+	sum, sumSq float64
+}
+
+func (a *arrivals) push(v float64) {
+	if a.n == len(a.ring) {
+		old := a.ring[a.idx]
+		a.sum -= old
+		a.sumSq -= old * old
+	} else {
+		a.n++
+	}
+	a.ring[a.idx] = v
+	a.sum += v
+	a.sumSq += v * v
+	a.idx = (a.idx + 1) % len(a.ring)
+}
+
+func (a *arrivals) meanStd() (mean, std float64) {
+	mean = a.sum / float64(a.n)
+	variance := a.sumSq/float64(a.n) - mean*mean
+	if variance < 0 { // floating-point cancellation on tight windows
+		variance = 0
+	}
+	return mean, math.Sqrt(variance)
+}
+
+// NewAccrual builds an adaptive detector with the given options (zero
+// value = defaults).
+func NewAccrual(opts AccrualOptions) *Accrual {
+	return &Accrual{opts: opts.withDefaults(), peers: make(map[ids.ProcID]*arrivals)}
+}
+
+// NewAccrualFactory returns a Factory producing independent NewAccrual
+// detectors.
+func NewAccrualFactory(opts AccrualOptions) Factory {
+	return func() Detector { return NewAccrual(opts) }
+}
+
+// Observe implements Detector: protocol traffic refreshes q's liveness
+// clock but contributes no cadence sample — µs-apart protocol bursts must
+// not collapse the fitted distribution (and with them every scheduling
+// hiccup would become a suspicion cascade).
+func (d *Accrual) Observe(q ids.ProcID, at time.Time) {
+	st := d.track(q, at)
+	st.last = at
+	st.seen = true
+}
+
+// ObserveBeacon implements Detector: a coalesced beacon arrives exactly
+// when the channel was otherwise silent for a full interval, so the gap
+// since the previous traffic of any kind is one liveness-pulse period —
+// the inter-arrival sample the φ fit is defined over.
+func (d *Accrual) ObserveBeacon(q ids.ProcID, at time.Time) {
+	st := d.track(q, at)
+	// Only a gap measured from previous *traffic* is a cadence sample: a
+	// peer just registered (by track here, or by an earlier Suspect
+	// check) would otherwise contribute a zero-length or
+	// registration-relative interval and bias the fit low.
+	if st.seen {
+		if iv := at.Sub(st.last).Seconds(); iv >= 0 {
+			st.push(iv)
+		}
+	}
+	st.last = at
+	st.seen = true
+}
+
+// track returns q's state, creating it (first seen at `at`) if absent.
+func (d *Accrual) track(q ids.ProcID, at time.Time) *arrivals {
+	st, ok := d.peers[q]
+	if !ok {
+		st = &arrivals{ring: make([]float64, d.opts.Window), last: at}
+		d.peers[q] = st
+	}
+	return st
+}
+
+// phi computes −log₁₀ P(interval > elapsed) under a normal fit of q's
+// observed inter-arrival distribution, with the σ floor applied. Larger is
+// more suspicious; the value is capped so a long-dead peer cannot push it
+// to +Inf.
+func (d *Accrual) phi(st *arrivals, elapsed float64) float64 {
+	mean, std := st.meanStd()
+	if floor := d.opts.MinStdDev.Seconds(); std < floor {
+		std = floor
+	}
+	// P(X > elapsed), X ~ N(mean, std): 0.5·erfc((elapsed−mean)/(σ√2)).
+	p := 0.5 * math.Erfc((elapsed-mean)/(std*math.Sqrt2))
+	const phiCap = 100 // −log₁₀ of the smallest tail we care to distinguish
+	if p < 1e-100 {
+		return phiCap
+	}
+	return -math.Log10(p)
+}
+
+// Suspicion implements Detector: φ once the window is primed, and the
+// fallback-normalized silence fraction scaled to the φ threshold before
+// that (so bootstrap suspicions cross Phi exactly when the fallback
+// timeout elapses). Untracked peers are 0.
+func (d *Accrual) Suspicion(q ids.ProcID, at time.Time) float64 {
+	st, ok := d.peers[q]
+	if !ok {
+		return 0
+	}
+	elapsed := at.Sub(st.last).Seconds()
+	if st.n < d.opts.MinSamples {
+		return d.opts.Phi * (elapsed / d.opts.Fallback.Seconds())
+	}
+	return d.phi(st, elapsed)
+}
+
+// Suspect implements Detector. As with Timeout, the first check of an
+// unknown peer starts its clock and reports healthy.
+func (d *Accrual) Suspect(q ids.ProcID, at time.Time) bool {
+	st, ok := d.peers[q]
+	if !ok {
+		d.track(q, at)
+		return false
+	}
+	if st.n < d.opts.MinSamples {
+		return at.Sub(st.last) > d.opts.Fallback
+	}
+	return d.phi(st, at.Sub(st.last).Seconds()) >= d.opts.Phi
+}
+
+// Rearm implements Detector: refresh the silence clock but clear seen —
+// `last` is now a synthetic timestamp, and the gap from it to the next
+// real beacon must not enter the window as a cadence sample.
+func (d *Accrual) Rearm(q ids.ProcID, at time.Time) {
+	st := d.track(q, at)
+	st.last = at
+	st.seen = false
+}
+
+// Retain implements Detector.
+func (d *Accrual) Retain(members []ids.ProcID) { retainKeys(d.peers, members) }

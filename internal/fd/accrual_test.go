@@ -1,0 +1,246 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+// feed delivers beacon arrivals to the detector at the given interval
+// starting from start, returning the time of the last arrival.
+func feed(d *Accrual, q ids.ProcID, start time.Time, interval time.Duration, n int) time.Time {
+	now := start
+	for i := 0; i < n; i++ {
+		d.ObserveBeacon(q, now)
+		if i < n-1 {
+			now = now.Add(interval)
+		}
+	}
+	return now
+}
+
+func TestAccrualSteadyArrivalsAdaptBelowFixedTimeout(t *testing.T) {
+	// A peer beaconing every 2ms: the fitted distribution is tight, so φ
+	// crosses the threshold a few ms after the last arrival — far below
+	// the 20ms a fixed detector would wait — yet never at the very next
+	// expected arrival time.
+	d := NewAccrual(AccrualOptions{Fallback: 20 * time.Millisecond})
+	q := ids.Named("q")
+	last := feed(d, q, t0, 2*time.Millisecond, 50)
+
+	if d.Suspect(q, last.Add(4*time.Millisecond)) {
+		t.Error("suspected at 2× the mean interval — too trigger-happy")
+	}
+	if !d.Suspect(q, last.Add(12*time.Millisecond)) {
+		t.Error("not suspected after 6× the mean interval on a steady link")
+	}
+	// The adaptive threshold beats the fixed one: by 20ms of silence the
+	// suspicion is unambiguous.
+	if lvl := d.Suspicion(q, last.Add(20*time.Millisecond)); lvl < 8 {
+		t.Errorf("φ after 20ms silence on a 2ms link = %v, want ≥ 8", lvl)
+	}
+}
+
+func TestAccrualJitteryArrivalsEarnPatience(t *testing.T) {
+	// Same mean rate, heavy jitter: the detector must wait longer than on
+	// the steady link before suspecting.
+	steady := NewAccrual(AccrualOptions{})
+	jittery := NewAccrual(AccrualOptions{})
+	q := ids.Named("q")
+	feed(steady, q, t0, 2*time.Millisecond, 200)
+
+	rng := rand.New(rand.NewSource(1))
+	now := t0
+	var lastJ time.Time
+	for i := 0; i < 200; i++ {
+		jittery.ObserveBeacon(q, now)
+		lastJ = now
+		now = now.Add(time.Duration(500+rng.Intn(7000)) * time.Microsecond) // 0.5–7.5ms
+	}
+
+	// At the same absolute silence the jittery link must look less
+	// suspicious than the steady one.
+	const silence = 10 * time.Millisecond
+	lvlSteady := steady.Suspicion(q, t0.Add(2*time.Millisecond*199).Add(silence))
+	lvlJittery := jittery.Suspicion(q, lastJ.Add(silence))
+	if lvlJittery >= lvlSteady {
+		t.Errorf("φ(jittery)=%v ≥ φ(steady)=%v at equal silence; jitter should buy patience",
+			lvlJittery, lvlSteady)
+	}
+	// But a genuinely dead jittery peer is still caught.
+	if !jittery.Suspect(q, lastJ.Add(100*time.Millisecond)) {
+		t.Error("jittery link not suspected after 100ms of silence")
+	}
+}
+
+func TestAccrualPauseThenResumeRecovers(t *testing.T) {
+	// A long pause (e.g. a stall shorter than anyone's patience…) followed
+	// by resumed traffic: the detector must stop suspecting as soon as
+	// traffic resumes, and the absorbed outlier must not poison the window
+	// into permanent paranoia or permanent blindness.
+	d := NewAccrual(AccrualOptions{})
+	q := ids.Named("q")
+	last := feed(d, q, t0, 2*time.Millisecond, 100)
+
+	pauseEnd := last.Add(80 * time.Millisecond)
+	if !d.Suspect(q, last.Add(60*time.Millisecond)) {
+		t.Fatal("not suspected during an 80ms pause on a 2ms link")
+	}
+	// Traffic resumes.
+	last = feed(d, q, pauseEnd, 2*time.Millisecond, 30)
+	if d.Suspect(q, last.Add(time.Millisecond)) {
+		t.Error("still suspected 1ms after traffic resumed")
+	}
+	// The one 80ms outlier widens the fit but must not make the detector
+	// blind: a dead peer is still suspected well within the fallback.
+	if !d.Suspect(q, last.Add(150*time.Millisecond)) {
+		t.Error("post-pause window too forgiving: 150ms of silence not suspected")
+	}
+}
+
+func TestAccrualBootstrapFallsBackToFixedTimeout(t *testing.T) {
+	d := NewAccrual(AccrualOptions{Fallback: 25 * time.Millisecond, MinSamples: 3})
+	q := ids.Named("q")
+	// First check registers; before MinSamples intervals, the fixed
+	// fallback governs.
+	if d.Suspect(q, t0) {
+		t.Fatal("unknown peer suspected on first check")
+	}
+	if d.Suspect(q, t0.Add(25*time.Millisecond)) {
+		t.Error("suspected at exactly the fallback threshold")
+	}
+	if !d.Suspect(q, t0.Add(26*time.Millisecond)) {
+		t.Error("not suspected past the fallback threshold")
+	}
+	// Suspicion during bootstrap normalizes so Phi is crossed exactly at
+	// the fallback.
+	d2 := NewAccrual(AccrualOptions{Phi: 8, Fallback: 20 * time.Millisecond})
+	d2.ObserveBeacon(q, t0)
+	if lvl := d2.Suspicion(q, t0.Add(10*time.Millisecond)); lvl != 4 {
+		t.Errorf("bootstrap level at half fallback = %v, want 4", lvl)
+	}
+}
+
+func TestAccrualRetainDropsDeparted(t *testing.T) {
+	d := NewAccrual(AccrualOptions{})
+	p, q := ids.Named("p"), ids.Named("q")
+	feed(d, p, t0, 2*time.Millisecond, 10)
+	feed(d, q, t0, 2*time.Millisecond, 10)
+	d.Retain([]ids.ProcID{p})
+	if d.Suspect(q, t0.Add(time.Hour)) {
+		t.Error("forgotten peer suspected from stale state")
+	}
+	if !d.Suspect(p, t0.Add(time.Hour)) {
+		t.Error("retained peer not suspected after an hour")
+	}
+}
+
+func TestAccrualProtocolBurstsDoNotPoisonTheWindow(t *testing.T) {
+	// A burst of protocol frames µs apart (an agreement round) must not
+	// collapse the fitted cadence: only beacons contribute samples, so
+	// the suspicion threshold after the burst equals the steady-state
+	// one. This is the regression test for the live cascade where a
+	// burst-tightened window turned the next ordinary beacon gap into a
+	// false suspicion that excluded half the group.
+	d := NewAccrual(AccrualOptions{})
+	q := ids.Named("q")
+	last := feed(d, q, t0, 2*time.Millisecond, 50)
+
+	// 200 protocol frames 50µs apart.
+	now := last
+	for i := 0; i < 200; i++ {
+		now = now.Add(50 * time.Microsecond)
+		d.Observe(q, now)
+	}
+	// Liveness is refreshed by the burst…
+	if d.Suspect(q, now.Add(4*time.Millisecond)) {
+		t.Error("suspected 4ms after a protocol burst — the window was poisoned")
+	}
+	// …and the threshold still reflects the 2ms beacon cadence, so a
+	// genuinely dead peer is caught on the steady-state schedule.
+	if !d.Suspect(q, now.Add(12*time.Millisecond)) {
+		t.Error("not suspected 12ms after last traffic on a 2ms cadence")
+	}
+}
+
+func TestAccrualFirstBeaconContributesNoSample(t *testing.T) {
+	// A peer's first-ever beacon (or one arriving right after a Suspect
+	// check registered the peer) has no previous traffic to measure a
+	// gap from; pushing a zero-length or registration-relative interval
+	// would bias the fit toward instant suspicion.
+	d := NewAccrual(AccrualOptions{MinSamples: 1, Fallback: 50 * time.Millisecond})
+	q := ids.Named("q")
+	d.ObserveBeacon(q, t0)
+	// Were a 0-length sample pushed, MinSamples=1 would be met with a
+	// fit of mean 0 — suspecting after a few ms. The fallback must still
+	// govern instead.
+	if d.Suspect(q, t0.Add(20*time.Millisecond)) {
+		t.Error("suspected inside the fallback window: first beacon poisoned the fit")
+	}
+	if !d.Suspect(q, t0.Add(51*time.Millisecond)) {
+		t.Error("not suspected past the fallback threshold")
+	}
+
+	// Same via the Suspect-registration path.
+	d2 := NewAccrual(AccrualOptions{MinSamples: 1, Fallback: 50 * time.Millisecond})
+	d2.Suspect(q, t0) // registers
+	d2.ObserveBeacon(q, t0.Add(3*time.Millisecond))
+	d2.ObserveBeacon(q, t0.Add(5*time.Millisecond)) // the one real 2ms sample
+	if d2.Suspect(q, t0.Add(6*time.Millisecond)) {
+		t.Error("suspected 1ms after a beacon — registration gap entered the window")
+	}
+}
+
+func TestAccrualRearmDoesNotAnchorSamples(t *testing.T) {
+	// Rearm refreshes the silence clock with a synthetic timestamp (the
+	// caller's own stall, not traffic); the gap from it to the next real
+	// beacon must not enter the window — else every stall would drag the
+	// fitted cadence toward the stall-to-beacon spacing.
+	d := NewAccrual(AccrualOptions{MinSamples: 1, Fallback: 200 * time.Millisecond})
+	q := ids.Named("q")
+	d.Rearm(q, t0) // first contact via the stall path
+	b1 := t0.Add(50 * time.Millisecond)
+	d.ObserveBeacon(q, b1) // were the rearm gap sampled: a 50ms interval
+	b2 := b1.Add(2 * time.Millisecond)
+	d.ObserveBeacon(q, b2) // the one genuine sample: 2ms
+	// With only the genuine 2ms sample in the window, 40ms of silence is
+	// unambiguous death; a poisoned 50ms-mean fit would stay quiet.
+	if !d.Suspect(q, b2.Add(40*time.Millisecond)) {
+		t.Error("rearm-to-beacon gap entered the window and inflated the fit")
+	}
+
+	// And rearming an established peer suppresses exactly one sample.
+	d2 := NewAccrual(AccrualOptions{})
+	last := feed(d2, q, t0, 2*time.Millisecond, 50)
+	d2.Rearm(q, last.Add(30*time.Millisecond))
+	if d2.Suspect(q, last.Add(32*time.Millisecond)) {
+		t.Error("suspected right after a rearm — silence clock not refreshed")
+	}
+	resumed := feed(d2, q, last.Add(35*time.Millisecond), 2*time.Millisecond, 5)
+	if d2.Suspect(q, resumed.Add(4*time.Millisecond)) {
+		t.Error("suspected at 2× cadence after post-rearm traffic resumed")
+	}
+	if !d2.Suspect(q, resumed.Add(15*time.Millisecond)) {
+		t.Error("not suspected at 7× cadence — rearm should not widen the fit")
+	}
+}
+
+func TestAccrualWindowSlides(t *testing.T) {
+	// With a small window, old behavior ages out: a link that migrates
+	// from 20ms to 2ms beacons tightens its threshold accordingly.
+	d := NewAccrual(AccrualOptions{Window: 16})
+	q := ids.Named("q")
+	last := feed(d, q, t0, 20*time.Millisecond, 32)
+	if d.Suspect(q, last.Add(21*time.Millisecond)) {
+		t.Fatal("suspected 1σ past the mean on the slow regime")
+	}
+	if !d.Suspect(q, last.Add(28*time.Millisecond)) {
+		t.Fatal("not suspected 8σ past the mean on the slow regime")
+	}
+	last = feed(d, q, last.Add(20*time.Millisecond), 2*time.Millisecond, 32)
+	if !d.Suspect(q, last.Add(15*time.Millisecond)) {
+		t.Error("threshold did not tighten after the window slid to the fast regime")
+	}
+}

@@ -1,0 +1,130 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return t0.Add(d) }
+
+func TestTimeoutFirstCheckStartsClock(t *testing.T) {
+	d := NewTimeout(20 * time.Millisecond)
+	q := ids.Named("q")
+	// Never observed: the first check must register, not suspect — the
+	// grace the pre-extraction live runtime gave fresh view members.
+	if d.Suspect(q, at(0)) {
+		t.Fatal("unknown peer suspected on first check")
+	}
+	if d.Suspect(q, at(20*time.Millisecond)) {
+		t.Error("suspected at exactly the threshold (must be strict >)")
+	}
+	if !d.Suspect(q, at(20*time.Millisecond+time.Nanosecond)) {
+		t.Error("not suspected past the threshold")
+	}
+}
+
+func TestTimeoutObserveResetsSilence(t *testing.T) {
+	d := NewTimeout(20 * time.Millisecond)
+	q := ids.Named("q")
+	d.Observe(q, at(0))
+	d.Observe(q, at(15*time.Millisecond))
+	if d.Suspect(q, at(30*time.Millisecond)) {
+		t.Error("suspected 15ms after last traffic with a 20ms threshold")
+	}
+	if !d.Suspect(q, at(36*time.Millisecond)) {
+		t.Error("not suspected 21ms after last traffic")
+	}
+}
+
+func TestTimeoutSuspicionLevel(t *testing.T) {
+	d := NewTimeout(20 * time.Millisecond)
+	q := ids.Named("q")
+	if got := d.Suspicion(q, at(0)); got != 0 {
+		t.Errorf("untracked peer level = %v, want 0", got)
+	}
+	d.Observe(q, at(0))
+	if got := d.Suspicion(q, at(10*time.Millisecond)); got != 0.5 {
+		t.Errorf("level at half threshold = %v, want 0.5", got)
+	}
+	if got := d.Suspicion(q, at(40*time.Millisecond)); got != 2 {
+		t.Errorf("level at twice threshold = %v, want 2", got)
+	}
+}
+
+func TestTimeoutRetainDropsDeparted(t *testing.T) {
+	d := NewTimeout(20 * time.Millisecond)
+	p, q := ids.Named("p"), ids.Named("q")
+	d.Observe(p, at(0))
+	d.Observe(q, at(0))
+	d.Retain([]ids.ProcID{p})
+	// q's state is gone: a later check re-registers it instead of
+	// suspecting on ancient history.
+	if d.Suspect(q, at(time.Hour)) {
+		t.Error("forgotten peer suspected from stale state")
+	}
+	if !d.Suspect(p, at(time.Hour)) {
+		t.Error("retained peer not suspected after an hour of silence")
+	}
+}
+
+// oldBeatDetector replays, literally, the failure-detection logic the live
+// runtime's beat loop ran before extraction into this package:
+//
+//	ln.lastSeen[e.from] = time.Now()          // on every receive
+//	seen, ok := ln.lastSeen[m]                // on every beat tick
+//	if !ok { ln.lastSeen[m] = now; continue }
+//	if now.Sub(seen) > ln.c.opts.SuspectAfter { ln.node.Suspect(m) }
+//
+// TestTimeoutMatchesPreRefactorBeatLoop drives it and the extracted
+// Timeout detector over identical randomized arrival/tick schedules and
+// requires bit-identical suspect decisions — the extraction is
+// behavior-preserving by construction, not by resemblance.
+type oldBeatDetector struct {
+	after    time.Duration
+	lastSeen map[ids.ProcID]time.Time
+}
+
+func (o *oldBeatDetector) receive(q ids.ProcID, now time.Time) { o.lastSeen[q] = now }
+
+func (o *oldBeatDetector) beatSuspects(q ids.ProcID, now time.Time) bool {
+	seen, ok := o.lastSeen[q]
+	if !ok {
+		o.lastSeen[q] = now
+		return false
+	}
+	return now.Sub(seen) > o.after
+}
+
+func TestTimeoutMatchesPreRefactorBeatLoop(t *testing.T) {
+	const after = 30 * time.Millisecond
+	peers := []ids.ProcID{ids.Named("a"), ids.Named("b"), ids.Named("c")}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		olddet := &oldBeatDetector{after: after, lastSeen: make(map[ids.ProcID]time.Time)}
+		newdet := NewTimeout(after)
+		now := t0
+		for step := 0; step < 500; step++ {
+			now = now.Add(time.Duration(rng.Intn(10_000)) * time.Microsecond)
+			switch rng.Intn(3) {
+			case 0: // traffic arrives from a random peer
+				q := peers[rng.Intn(len(peers))]
+				olddet.receive(q, now)
+				newdet.Observe(q, now)
+			default: // a beat tick checks every peer
+				for _, q := range peers {
+					want := olddet.beatSuspects(q, now)
+					got := newdet.Suspect(q, now)
+					if got != want {
+						t.Fatalf("seed %d step %d peer %v: Suspect = %v, pre-refactor logic = %v",
+							seed, step, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}

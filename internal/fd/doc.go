@@ -1,0 +1,33 @@
+// Package fd is the failure-detection substrate — the F1 mechanism the
+// paper deliberately abstracts (§2.2): "we are not concerned with the
+// details of the mechanism used here, but for liveness, we do assume that
+// it occurs in finite time after a real crash". Detections may be wrong;
+// staying consistent despite that is GMP's whole contribution (§2.3). The
+// package therefore treats detection as a policy space and provides one
+// implementation per substrate:
+//
+//   - Oracle (fd.go) serves the simulator: it watches crashes on the
+//     simulated network and delivers faulty_p(q) suspicions after a
+//     configurable per-observer delay, with injection hooks for the
+//     spurious suspicions the adversarial scenarios need (Table 1,
+//     Figure 11).
+//
+//   - Timeout (detector.go) serves the live runtime: the classic fixed
+//     silence threshold, extracted behavior-preservingly from the
+//     pre-refactor heartbeat loop (the extraction is pinned bit-for-bit
+//     by TestTimeoutMatchesPreRefactorBeatLoop).
+//
+//   - Accrual (accrual.go) is the adaptive alternative: per-peer
+//     inter-arrival statistics fed by beacon receipts, emitting a
+//     continuous suspicion level φ = −log₁₀ P(silence | alive) in the
+//     style of Hayashibara et al.'s φ-accrual detector. Suspect-after
+//     then tracks each link's measured behavior instead of a global
+//     worst-case constant — the lever E15/E16 (EXPERIMENTS.md) measure,
+//     since agreement time is detector-bound (§2.2).
+//
+// Live detectors implement the Detector interface and are chosen per
+// group through a Factory (GroupOptions.Detector in the root API); they
+// are driven entirely from each node's event loop with explicit
+// timestamps, so synthetic arrival schedules unit-test exactly the code
+// the live runtime runs.
+package fd

@@ -1,12 +1,8 @@
-// Package fd is the failure-detection substrate. The paper deliberately
-// abstracts the detection mechanism (§2.2, F1): "we are not concerned with
-// the details of the mechanism used here, but for liveness, we do assume
-// that it occurs in finite time after a real crash". For the simulator we
-// therefore provide an oracle detector with configurable detection latency
-// and spurious-suspicion injection (detections may be wrong — that is the
-// whole point of GMP); the live runtime uses the heartbeat detector in
-// internal/live instead.
 package fd
+
+// The simulator's detector: an oracle wired to the simulated network's
+// crash notifications, with configurable latency and spurious-suspicion
+// injection. The live runtime's detectors live in detector.go/accrual.go.
 
 import (
 	"procgroup/internal/ids"

@@ -1,10 +1,3 @@
-// Package ids defines process identities for the group membership protocol.
-//
-// The paper models recovery by treating a "recovered" process as a new and
-// different process instance (§1). An identity therefore carries both a site
-// name and an incarnation number: a process that crashes and later rejoins
-// does so under a fresh incarnation, which is what lets the protocol satisfy
-// GMP-4 (no re-instatement) while still supporting joins.
 package ids
 
 import (

@@ -1,10 +1,3 @@
-// Package live runs the GMP protocol on real goroutines with real time:
-// one goroutine per process, a pluggable transport (in-memory by default,
-// TCP sockets or a lossy ABP-repaired datagram link via Options), and a
-// heartbeat failure detector implementing F1 (§2.2) — the deployment shape
-// the paper targets ("a constant flow of requests … which is exactly what
-// occurs in actual systems"). The protocol code is the same internal/core
-// state machine the simulator runs; only the substrate differs.
 package live
 
 import (
@@ -15,6 +8,7 @@ import (
 
 	"procgroup/internal/core"
 	"procgroup/internal/event"
+	"procgroup/internal/fd"
 	"procgroup/internal/ids"
 	"procgroup/internal/member"
 	"procgroup/internal/trace"
@@ -46,8 +40,15 @@ type Options struct {
 	// HeartbeatEvery is the beacon interval (default 20ms).
 	HeartbeatEvery time.Duration
 	// SuspectAfter is the silence threshold before faulty_p(q) fires
-	// (default 6 × HeartbeatEvery).
+	// (default 6 × HeartbeatEvery). It parameterizes the default
+	// fixed-timeout detector; a non-nil Detector takes precedence.
 	SuspectAfter time.Duration
+	// Detector selects the failure-detection policy (F1, §2.2): a
+	// factory invoked once per node so every process owns an independent
+	// detector instance. Nil selects fd.NewTimeoutFactory(SuspectAfter),
+	// the seed behavior; fd.NewAccrualFactory gives the adaptive
+	// φ-accrual detector.
+	Detector fd.Factory
 	// Transport is the message substrate. Nil selects in-process
 	// delivery (transport.NewInmem), the seed behavior. The cluster
 	// takes ownership and closes it on Stop.
@@ -96,8 +97,9 @@ type liveNode struct {
 	// loop-owned state (never touched outside the event loop):
 	node     *core.Node
 	peers    []ids.ProcID             // current view minus self, refreshed per install
-	lastSeen map[ids.ProcID]time.Time // last traffic received per peer (F1 input)
+	det      fd.Detector              // failure-detection policy (F1 input)
 	lastSent map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
+	lastBeat time.Time                // previous liveness-wheel pass (stall guard)
 }
 
 // Start boots a cluster of opts.N processes and waits until every node has
@@ -114,6 +116,9 @@ func Start(opts Options) *Cluster {
 	}
 	if opts.UpdateBuffer <= 0 {
 		opts.UpdateBuffer = 1024
+	}
+	if opts.Detector == nil {
+		opts.Detector = fd.NewTimeoutFactory(opts.SuspectAfter)
 	}
 	if opts.Transport == nil {
 		opts.Transport = transport.NewInmem()
@@ -163,7 +168,7 @@ func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 		box:      newMailbox(),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
-		lastSeen: make(map[ids.ProcID]time.Time),
+		det:      c.opts.Detector(),
 		lastSent: make(map[ids.ProcID]time.Time),
 	}
 	ln.node = core.New(p, (*liveEnv)(ln), cfg)
@@ -195,6 +200,13 @@ func (ln *liveNode) run() {
 			return
 		case <-tick.C:
 			ln.beat()
+			// A suspicion raised by the wheel can cascade into this
+			// node quitting itself (an initiator that misses its
+			// majority, §4.3) — which unregisters it, so nothing else
+			// will ever stop this loop.
+			if !ln.node.Alive() {
+				return
+			}
 		case <-ln.box.wake:
 			for {
 				e, ok := ln.box.take()
@@ -218,10 +230,11 @@ func (ln *liveNode) dispatch(e envelope) {
 	if e.from.IsNil() {
 		return
 	}
-	ln.lastSeen[e.from] = time.Now()
 	if _, isBeat := e.payload.(Heartbeat); isBeat {
+		ln.det.ObserveBeacon(e.from, time.Now())
 		return
 	}
+	ln.det.Observe(e.from, time.Now())
 	if e.msgID != 0 {
 		ln.c.rec.RecordRecv(e.from, ln.id, e.msgID, labelOf(e.payload))
 	}
@@ -232,26 +245,49 @@ func (ln *liveNode) dispatch(e envelope) {
 // drives beacons and suspicion for the whole membership — there are no
 // per-peer timers. Heartbeats piggyback on protocol traffic: any frame
 // sent to a peer within the last beacon interval already proved this node
-// alive (a send IS a beacon, and every receive refreshes lastSeen on the
+// alive (a send IS a beacon, and every receive feeds the detector on the
 // far side), so a pure beacon goes out only on channels that have been
-// silent. Members silent past the threshold are suspected (F1, §2.2).
+// silent. Suspicion is delegated to the pluggable detector (F1, §2.2):
+// members it declares silent are suspected, with its graded suspicion
+// level recorded on the Faulty trace event.
 func (ln *liveNode) beat() {
+	now := time.Now()
+	// Stall guard: every node of a cluster shares one OS process, so a
+	// process-wide scheduler or GC stall would make every node read
+	// every peer as silent on its next beat — a mutual-suspicion storm
+	// that can destroy the whole group in one pass. A node that detects
+	// its own wheel was stalled cannot distinguish peer silence from its
+	// own absence, so it re-arms its observations instead of suspecting;
+	// a genuinely dead peer is still caught one threshold later (F1 only
+	// demands eventual detection). The trip point keys on the wheel's
+	// own cadence — a beat arriving more than a full period late —
+	// because an adaptive detector's suspicion latency can sit well
+	// below the fixed SuspectAfter (which caps the guard when tighter).
+	// The floor of 1.5 beat periods keeps ordinary tick jitter from
+	// tripping it: below that, every normal beat would register as a
+	// stall and detection would silently never run.
+	guard := 2 * ln.c.opts.HeartbeatEvery
+	if ln.c.opts.SuspectAfter/2 < guard {
+		guard = ln.c.opts.SuspectAfter / 2
+	}
+	if floor := 3 * ln.c.opts.HeartbeatEvery / 2; guard < floor {
+		guard = floor
+	}
+	stalled := !ln.lastBeat.IsZero() && now.Sub(ln.lastBeat) > guard
+	ln.lastBeat = now
 	if len(ln.peers) == 0 {
 		return
 	}
-	now := time.Now()
 	for _, m := range ln.peers {
 		if sent, ok := ln.lastSent[m]; !ok || now.Sub(sent) >= ln.c.opts.HeartbeatEvery {
 			ln.c.post(ln.id, m, 0, Heartbeat{})
 			ln.lastSent[m] = now
 		}
-		seen, ok := ln.lastSeen[m]
-		if !ok {
-			ln.lastSeen[m] = now
-			continue
-		}
-		if now.Sub(seen) > ln.c.opts.SuspectAfter {
-			ln.node.Suspect(m)
+		switch {
+		case stalled:
+			ln.det.Rearm(m, now)
+		case ln.det.Suspect(m, now):
+			ln.node.SuspectWithLevel(m, ln.det.Suspicion(m, now))
 		}
 	}
 }
@@ -322,6 +358,13 @@ func (e *liveEnv) Record(k event.Kind, other ids.ProcID) {
 	ln.c.rec.RecordInternal(ln.id, k, other)
 }
 
+// RecordLevel implements core.LevelRecorder: Faulty events carry the
+// detector's suspicion level into the trace.
+func (e *liveEnv) RecordLevel(k event.Kind, other ids.ProcID, level float64) {
+	ln := (*liveNode)(e)
+	ln.c.rec.RecordInternalLevel(ln.id, k, other, level)
+}
+
 func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln := (*liveNode)(e)
 	// Refresh the liveness wheel's peer snapshot (loop-owned), dropping
@@ -335,11 +378,7 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 		}
 	}
 	ln.peers = peers
-	for q := range ln.lastSeen {
-		if !current[q] {
-			delete(ln.lastSeen, q)
-		}
-	}
+	ln.det.Retain(members)
 	for q := range ln.lastSent {
 		if !current[q] {
 			delete(ln.lastSent, q)

@@ -1,0 +1,5 @@
+// Package member implements the membership bookkeeping of the paper:
+// local views Memb(p) with seniority ranks (§4.2), view versions ver(p),
+// committed-operation sequences seq(p) (§4.4), expectation triples next(p)
+// (§4.4), and the majority arithmetic of §7 (Facts 7.1–7.3, Prop. 7.1).
+package member

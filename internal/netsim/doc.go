@@ -1,0 +1,7 @@
+// Package netsim simulates the paper's communication substrate: a complete
+// network of reliable (lossless, non-generating) FIFO channels with
+// unbounded — here: arbitrary, seeded — delivery delays (§2.1). It adds the
+// failure-injection machinery the evaluation needs: whole-process crashes,
+// crashes in the middle of a broadcast (Figure 3's interrupted commit), and
+// message interceptors for building adversarial schedules.
+package netsim

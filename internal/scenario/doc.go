@@ -1,0 +1,5 @@
+// Package scenario wires protocol nodes to the simulated substrate and
+// provides the declarative failure schedules the evaluation runs: crashes,
+// crashes in mid-broadcast, spurious suspicions, joins. Tests, benchmarks
+// and the cmd tools all build runs through this harness.
+package scenario

@@ -1,12 +1,3 @@
-// Package sim is a deterministic discrete-event scheduler: the substitute
-// substrate for the asynchronous environment of the paper (§2.1). Message
-// transmission times are unbounded in the model; here they are arbitrary
-// finite values drawn from a seeded generator, so every run is exactly
-// reproducible and the evaluation's message counts are exact. The protocol
-// never reads the clock to make decisions — virtual time exists only to
-// order deliveries and to drive the failure-detection substrate (the paper
-// likewise uses time "only as an (approximate) tool for detecting possible
-// crash failures", §2.2).
 package sim
 
 import (

@@ -1,0 +1,6 @@
+// Package trace records system runs: every send, receive, and internal
+// event of every process, stamped with Lamport and vector clocks. A
+// recorded run is the paper's n-tuple of process histories (§2.1); the
+// checker replays it to verify GMP-0..GMP-5 and the benchmark harness
+// reads its message counters to reproduce the §7.2 complexity analysis.
+package trace

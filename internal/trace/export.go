@@ -27,6 +27,7 @@ type jsonEvent struct {
 	MsgID   int64             `json:"msg,omitempty"`
 	Label   string            `json:"label,omitempty"`
 	Ver     int               `json:"ver,omitempty"`
+	Level   float64           `json:"level,omitempty"`
 	Members []string          `json:"members,omitempty"`
 	Time    int64             `json:"t"`
 	Lamport uint64            `json:"lamport"`
@@ -70,6 +71,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 			MsgID:   e.MsgID,
 			Label:   e.Label,
 			Ver:     int(e.Ver),
+			Level:   e.Level,
 			Time:    e.Time,
 			Lamport: e.Lamport,
 			Clock:   make(map[string]uint64, len(e.Clock)),
@@ -125,6 +127,7 @@ func ReadJSONL(r io.Reader) ([]event.Event, error) {
 			MsgID:   je.MsgID,
 			Label:   je.Label,
 			Ver:     member.Version(je.Ver),
+			Level:   je.Level,
 			Time:    je.Time,
 			Lamport: je.Lamport,
 			Clock:   causal.New(),

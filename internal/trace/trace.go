@@ -1,8 +1,3 @@
-// Package trace records system runs: every send, receive, and internal
-// event of every process, stamped with Lamport and vector clocks. A
-// recorded run is the paper's n-tuple of process histories (§2.1); the
-// checker replays it to verify GMP-0..GMP-5 and the benchmark harness
-// reads its message counters to reproduce the §7.2 complexity analysis.
 package trace
 
 import (
@@ -133,11 +128,19 @@ func (r *Recorder) RecordDrop(from, to ids.ProcID, msgID int64, label string) {
 
 // RecordInternal logs a protocol-internal event such as faulty_p(q).
 func (r *Recorder) RecordInternal(p ids.ProcID, k event.Kind, other ids.ProcID) {
+	r.RecordInternalLevel(p, k, other, 0)
+}
+
+// RecordInternalLevel logs a protocol-internal event carrying the failure
+// detector's suspicion level — how confident the detector was when
+// faulty_p(q) fired (see event.Event.Level). Level 0 marks events with no
+// graded detector behind them.
+func (r *Recorder) RecordInternalLevel(p ids.ProcID, k event.Kind, other ids.ProcID, level float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.vcOf(p).Tick(p)
 	r.lamport[p]++
-	r.append(event.Event{Proc: p, Kind: k, Other: other})
+	r.append(event.Event{Proc: p, Kind: k, Other: other, Level: level})
 }
 
 // RecordInstall logs a completed local view transition.

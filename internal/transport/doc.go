@@ -1,0 +1,30 @@
+// Package transport is the pluggable message substrate of the live
+// runtime: it moves protocol payloads between registered processes while
+// preserving the per-channel FIFO order the paper's model assumes (§2.1).
+// The live cluster speaks only the Transport interface; the concrete
+// implementations are
+//
+//   - Inmem: direct in-process delivery, the seed's original behavior and
+//     the default for tests and single-process deployments;
+//   - TCP: real sockets on loopback or a LAN, one multiplexed
+//     length-prefixed binary stream per unordered peer pair
+//     (channel-tagged frames, per-channel FIFO queues behind one writer),
+//     with reconnect — the paper's asynchronous network made literal;
+//   - Lossy: an adversarial datagram link (loss, duplication, delay)
+//     repaired by the alternating-bit protocol of internal/channel — the
+//     paper's §3 claim that reliable FIFO channels are implementable
+//     rather than assumed, demonstrated end-to-end;
+//   - Chaos: a wrapper that degrades any of the above with per-link
+//     delay, jitter, beacon loss, burst outages and asymmetric
+//     partitions, reconfigurable at runtime — the live chaos harness
+//     that opens the simulator's adversity space (internal/netsim) to
+//     the goroutine runtime, used by E16's failure-detector A/B.
+//
+// Every implementation shares datagram-drop semantics for dead hosts
+// (silence is the failure detector's problem, §2.2) and per-reason drop
+// accounting through Stats. The wire codec (Frame, AppendFrame /
+// EncodeFrame / ReadFrame) is a hand-rolled length-prefixed binary format
+// covering the whole internal/core wire vocabulary plus registered
+// substrate beacons, with a gob escape hatch for everything else; the
+// format is pinned byte-for-byte by golden tests (DESIGN.md §6).
+package transport

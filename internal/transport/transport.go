@@ -1,17 +1,3 @@
-// Package transport is the pluggable message substrate of the live runtime:
-// it moves protocol payloads between registered processes while preserving
-// the per-channel FIFO order the paper's model assumes (§2.1). The live
-// cluster speaks only this interface; the concrete implementations are
-//
-//   - Inmem: direct in-process delivery, the seed's original behavior and
-//     the default for tests and single-process deployments,
-//   - TCP: real sockets on loopback or a LAN, one multiplexed
-//     length-prefixed binary stream per unordered peer pair (channel-tagged
-//     frames, per-channel FIFO queues behind one writer), with reconnect,
-//   - Lossy: an adversarial datagram link (loss, duplication, delay)
-//     repaired by the alternating-bit protocol of internal/channel — the
-//     paper's §3 claim that reliable FIFO channels are implementable
-//     rather than assumed, demonstrated end-to-end.
 package transport
 
 import (
@@ -84,11 +70,15 @@ type Stats struct {
 	// Closed counts sends issued after the transport (or the channel's
 	// link) was closed.
 	Closed int64
+	// ChaosInjected counts frames deliberately discarded by a Chaos
+	// wrapper (loss, burst windows, partitions) — injected faults, never
+	// congestion or dead hosts.
+	ChaosInjected int64
 }
 
 // Dropped sums every drop reason.
 func (s Stats) Dropped() int64 {
-	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed + s.Closed
+	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed + s.Closed + s.ChaosInjected
 }
 
 // dropReason indexes statCounters; dropNone marks a delivered frame.

@@ -432,6 +432,9 @@ func TestSendCloseRace(t *testing.T) {
 		{"inmem", func() Transport { return NewInmem() }},
 		{"tcp", func() Transport { return NewTCP() }},
 		{"lossy", func() Transport { return NewLossy(LossyOptions{}) }},
+		{"chaos", func() Transport {
+			return NewChaos(NewInmem(), ChaosOptions{Default: ChaosLink{Jitter: time.Millisecond, Loss: 0.1}})
+		}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tr := tc.make()

@@ -1,30 +1,11 @@
-// Package procgroup is a from-scratch implementation of the group
-// membership protocol of Ricciardi & Birman, "Using Process Groups to
-// Implement Failure Detection in Asynchronous Environments" (Cornell
-// TR 91-1188 / PODC 1991): an asymmetric, coordinator-driven membership
-// service that turns unreliable failure suspicions into an agreed, totally
-// ordered sequence of views — the mechanism underlying ISIS-style virtual
-// synchrony.
-//
-// The package exposes two ways to run the protocol:
-//
-//   - StartGroup boots a live group: one goroutine per process, an
-//     in-memory transport, and a heartbeat failure detector. This is the
-//     deployment shape for applications.
-//
-//   - NewSim builds a deterministic simulation on virtual time with exact
-//     message accounting, adversarial failure injection (crashes in
-//     mid-broadcast, spurious suspicions, partitions) and a GMP property
-//     checker. This is the shape for tests, benchmarks, and reproducing
-//     the paper's evaluation.
-//
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure.
 package procgroup
 
 import (
+	"time"
+
 	"procgroup/internal/check"
 	"procgroup/internal/core"
+	"procgroup/internal/fd"
 	"procgroup/internal/ids"
 	"procgroup/internal/live"
 	"procgroup/internal/member"
@@ -70,6 +51,22 @@ type (
 	// LossyTransportOptions shapes the adversarial datagram link of
 	// NewLossyTransport.
 	LossyTransportOptions = transport.LossyOptions
+	// DetectorFactory selects a live group's failure-detection policy
+	// (F1, §2.2): set it on GroupOptions.Detector. Nil keeps the fixed
+	// SuspectAfter timeout.
+	DetectorFactory = fd.Factory
+	// AccrualDetectorOptions tunes the adaptive φ-accrual detector of
+	// NewAccrualDetector.
+	AccrualDetectorOptions = fd.AccrualOptions
+	// ChaosTransport degrades any inner transport with per-link delay,
+	// jitter, loss, bursts and asymmetric partitions — the live chaos
+	// harness. Its SetLink/Partition/Heal methods reconfigure adversity
+	// while the group runs.
+	ChaosTransport = transport.Chaos
+	// ChaosTransportOptions configures NewChaosTransport.
+	ChaosTransportOptions = transport.ChaosOptions
+	// ChaosLink shapes one directed link of a ChaosTransport.
+	ChaosLink = transport.ChaosLink
 )
 
 // NewInmemTransport builds the default in-process transport explicitly
@@ -89,6 +86,35 @@ func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
 // the §3 claim that the reliable-FIFO channel assumption is implementable,
 // demonstrated under the live cluster.
 func NewLossyTransport(opts LossyTransportOptions) Transport { return transport.NewLossy(opts) }
+
+// NewFixedTimeoutDetector selects the classic fixed-threshold failure
+// detector: suspect a member once its silence exceeds after. This is the
+// default policy (GroupOptions.SuspectAfter) made explicit, for A/B runs
+// against the adaptive detector.
+func NewFixedTimeoutDetector(after time.Duration) DetectorFactory {
+	return fd.NewTimeoutFactory(after)
+}
+
+// NewAccrualDetector selects the adaptive φ-accrual failure detector: each
+// node fits a per-peer inter-arrival distribution from observed traffic
+// and suspects a member once the probability of its current silence drops
+// below 10^−Phi. Detection latency then tracks each link's measured
+// behavior instead of a global worst-case constant — the paper's §2.2
+// observation that agreement time is detector-bound, attacked at the
+// detector. A zero options value selects the documented defaults.
+func NewAccrualDetector(opts AccrualDetectorOptions) DetectorFactory {
+	return fd.NewAccrualFactory(opts)
+}
+
+// NewChaosTransport wraps inner with configurable link adversity (delay,
+// jitter, loss, burst outages, asymmetric partitions — per directed peer
+// pair, reconfigurable at runtime). It preserves per-channel FIFO order,
+// so jitter stretches channels without reordering them; see
+// ChaosLink.Loss for the one knob that deliberately steps outside the
+// paper's channel assumptions.
+func NewChaosTransport(inner Transport, opts ChaosTransportOptions) *ChaosTransport {
+	return transport.NewChaos(inner, opts)
+}
 
 // Named returns the incarnation-0 identifier for a site name.
 func Named(site string) ProcID { return ids.Named(site) }

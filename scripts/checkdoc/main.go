@@ -1,0 +1,70 @@
+// checkdoc enforces the repository's documentation floor: every Go
+// package — internal layers, the root library, commands and examples —
+// must carry a package comment (a doc comment on the package clause of at
+// least one non-test file). It exits nonzero listing the offending
+// directories, and is run by the CI docs job alongside the README snippet
+// build.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	hasGo := map[string]bool{}  // dir → has non-test .go files
+	hasDoc := map[string]bool{} // dir → some non-test file carries a package comment
+	fset := token.NewFileSet()
+
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		hasGo[dir] = true
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		if f.Doc != nil && len(f.Doc.List) > 0 {
+			hasDoc[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "checkdoc:", err)
+		os.Exit(1)
+	}
+
+	var bad []string
+	for dir := range hasGo {
+		if !hasDoc[dir] {
+			bad = append(bad, dir)
+		}
+	}
+	sort.Strings(bad)
+	if len(bad) > 0 {
+		fmt.Fprintln(os.Stderr, "packages without a package comment:")
+		for _, d := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("checkdoc: %d packages documented\n", len(hasGo))
+}
