@@ -1,0 +1,65 @@
+// Environment metadata stamped into every BENCH_*.json this tool emits,
+// so the perf trajectory across PRs stays comparable: a regression that
+// is really a machine change should be visible as one.
+package main
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// benchEnv is the shared `env` block of every machine-readable report.
+type benchEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	GitSHA     string `json:"git_sha,omitempty"`
+}
+
+// captureEnv collects the metadata. CPU model and git SHA are best
+// effort: absent (not wrong) when the platform or working tree cannot
+// provide them.
+func captureEnv() benchEnv {
+	return benchEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		GitSHA:     gitSHA(),
+	}
+}
+
+// cpuModel reads the first "model name" of /proc/cpuinfo (Linux; empty
+// elsewhere).
+func cpuModel() string {
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
+// gitSHA reports the HEAD the benchmark ran against (the commit the
+// numbers describe is usually this SHA's child — the one that commits
+// the report).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

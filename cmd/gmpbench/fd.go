@@ -87,6 +87,7 @@ type fdArm struct {
 // fdReport is the BENCH_fd.json schema.
 type fdReport struct {
 	GeneratedBy       string      `json:"generated_by"`
+	Env               benchEnv    `json:"env"`
 	HeartbeatMs       float64     `json:"heartbeat_ms"`
 	FixedTimeoutMs    float64     `json:"fixed_suspect_after_ms"`
 	QuietMs           float64     `json:"quiet_ms"`
@@ -277,6 +278,7 @@ func fdPerf(seed int64) {
 	fmt.Println("== E16 · failure-detection policy A/B: fixed timeout vs φ-accrual under live chaos ==")
 	rep := fdReport{
 		GeneratedBy:    "gmpbench -exp fd",
+		Env:            captureEnv(),
 		HeartbeatMs:    float64(fdHeartbeat) / float64(time.Millisecond),
 		FixedTimeoutMs: float64(fdSuspectAfter) / float64(time.Millisecond),
 		QuietMs:        float64(fdQuiet) / float64(time.Millisecond),

@@ -11,6 +11,8 @@
 //	                      # E15 wire-path microbenches, machine-readable
 //	gmpbench -exp fd -fd-out BENCH_fd.json
 //	                      # E16 failure-detector A/B under live chaos
+//	gmpbench -exp scale -scale-out BENCH_scale.json
+//	                      # E17 monitoring-topology sweep (Full vs RingK)
 package main
 
 import (
@@ -24,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, fd")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, fd, scale")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
 	fdFlags()
+	scaleFlags()
 	flag.Parse()
 
 	run := func(name string, fn func(int64)) {
@@ -46,6 +49,7 @@ func main() {
 	run("ablation", ablation)
 	run("transport", transportPerf)
 	run("fd", fdPerf)
+	run("scale", scalePerf)
 }
 
 func tw() *tabwriter.Writer {

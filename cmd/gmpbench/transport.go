@@ -9,7 +9,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -40,8 +39,8 @@ func arm(r testing.BenchmarkResult) codecArm {
 
 // transportReport is the BENCH_transport.json schema.
 type transportReport struct {
-	GeneratedBy string `json:"generated_by"`
-	CPU         string `json:"cpu"`
+	GeneratedBy string   `json:"generated_by"`
+	Env         benchEnv `json:"env"`
 	Codec       struct {
 		BinaryEncode    codecArm `json:"binary_encode"`
 		BinaryRoundtrip codecArm `json:"binary_roundtrip"`
@@ -83,7 +82,7 @@ func transportPerf(int64) {
 
 	var rep transportReport
 	rep.GeneratedBy = "gmpbench -exp transport"
-	rep.CPU = runtime.GOARCH
+	rep.Env = captureEnv()
 
 	rep.Codec.BinaryEncode = arm(testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

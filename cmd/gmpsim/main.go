@@ -9,6 +9,7 @@
 //	gmpsim -scenario exclusion -n 5 -seed 1
 //	gmpsim -scenario reconfig -trace
 //	gmpsim -live -transport tcp -n 5
+//	gmpsim -live -topology ring:3 -n 8
 //	gmpsim -list
 package main
 
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"procgroup"
@@ -84,11 +87,22 @@ func main() {
 	list := flag.Bool("list", false, "list scenarios")
 	liveRun := flag.Bool("live", false, "run the churn scenario on the live goroutine runtime instead of the simulator")
 	transportName := flag.String("transport", "inmem", "live transport: inmem, tcp (loopback sockets), or lossy (ABP over a lossy link)")
+	topologyName := flag.String("topology", "full", "live monitoring topology: full (all-to-all) or ring:k (each member watches its k rank-successors), e.g. ring:3")
 	flag.Parse()
 
+	topo, err := parseTopology(*topologyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *liveRun {
-		runLive(*transportName, *n)
+		runLive(*transportName, topo, *n)
 		return
+	}
+	if *topologyName != "full" {
+		// The simulator's failure detection is the crash oracle, not
+		// beacon monitoring; topologies only exist on the live runtime.
+		fmt.Fprintln(os.Stderr, "note: -topology applies to -live runs only; the simulator's detector is the oracle")
 	}
 
 	if *list {
@@ -144,10 +158,29 @@ func main() {
 	}
 }
 
+// parseTopology resolves the -topology flag: "full", "ring" (default k),
+// or "ring:k".
+func parseTopology(s string) (procgroup.Topology, error) {
+	switch {
+	case s == "" || s == "full":
+		return procgroup.NewFullTopology(), nil
+	case s == "ring":
+		return procgroup.NewRingTopology(0), nil
+	case strings.HasPrefix(s, "ring:"):
+		k, err := strconv.Atoi(strings.TrimPrefix(s, "ring:"))
+		if err != nil || k < 1 {
+			return nil, fmt.Errorf("bad -topology %q: want ring:k with k ≥ 1", s)
+		}
+		return procgroup.NewRingTopology(k), nil
+	default:
+		return nil, fmt.Errorf("unknown -topology %q; want full, ring, or ring:k", s)
+	}
+}
+
 // runLive boots the real goroutine runtime over the named transport and
 // drives a join + crash churn, printing the agreed view sequence as the
 // ViewWatcher condenses it from the per-process install streams.
-func runLive(transportName string, n int) {
+func runLive(transportName string, topo procgroup.Topology, n int) {
 	var tr procgroup.Transport
 	switch transportName {
 	case "inmem":
@@ -169,6 +202,7 @@ func runLive(transportName string, n int) {
 		HeartbeatEvery: 20 * time.Millisecond,
 		SuspectAfter:   200 * time.Millisecond,
 		Transport:      tr,
+		Topology:       topo,
 	})
 	defer g.Stop()
 	w := procgroup.Watch(g)

@@ -18,7 +18,7 @@
 //     checker. This is the shape for tests, benchmarks, and reproducing
 //     the paper's evaluation.
 //
-// Two live-group dimensions are selectable per group:
+// Three live-group dimensions are selectable per group:
 //
 //   - Transport (GroupOptions.Transport): in-process delivery (default),
 //     real TCP sockets (NewTCPTransport), a lossy datagram link repaired
@@ -34,7 +34,15 @@
 //     observation that agreement time is detector-bound, attacked at the
 //     detector.
 //
+//   - Monitoring topology (GroupOptions.Topology): all-to-all monitoring
+//     (NewFullTopology, the default) or ring-k (NewRingTopology), where
+//     each member watches only its k rank-successors — F1 never required
+//     all-to-all observation, so beacon traffic and TCP connection count
+//     drop from O(n²) to O(n·k), with suspicions relayed around the ring
+//     to whoever needs them (DESIGN.md §8).
+//
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the paper-versus-measured record of every table and
-// figure (E16 covers the detector A/B under chaos).
+// figure (E16 covers the detector A/B under chaos, E17 the topology
+// scaling sweep).
 package procgroup

@@ -37,6 +37,33 @@ type LevelRecorder interface {
 	RecordLevel(k event.Kind, other ids.ProcID, level float64)
 }
 
+// SuspicionRelayer is an optional Env extension for partial monitoring
+// topologies. Under all-to-all monitoring every process observes every
+// failure itself, so F2 gossip plus the GMP-5 report to the coordinator
+// disseminate everything that matters. Under a partial topology (e.g.
+// ring-k) a failure is observed only by the suspect's few monitors — and
+// when the suspect is the coordinator itself, reportSuspicions has nowhere
+// to report. Environments that monitor partially implement RelayPeers, and
+// the node then forwards every point-to-point-learned suspicion (its own
+// detector's, or one received in a FaultyReport) to the returned peers as
+// additional FaultyReport gossip. Relays hop the topology: each receiver
+// adopts the belief and relays onward to its own peers, so a suspicion
+// floods the live remainder of the topology and reaches the coordinator —
+// or, when the coordinator is the suspect, the member next in rank —
+// within a bounded O(n·k) messages (each node relays each suspect to at
+// most its peer set, once).
+//
+// Suspicions learned from broadcast gossip (Commit/Propose/ReconfCommit
+// contingencies, an initiator's inferable HiFaulty) are never relayed:
+// the broadcast already reached everyone the relay could.
+type SuspicionRelayer interface {
+	// RelayPeers returns the peers to forward fresh suspicions to, given
+	// the view members the node does not currently believe faulty, in
+	// seniority order (self included). Environments whose topology is
+	// effectively all-to-all return nil.
+	RelayPeers(unsuspected []ids.ProcID) []ids.ProcID
+}
+
 // Config tunes which variant of the algorithm a node runs.
 type Config struct {
 	// Compression enables §3.1's condensed rounds: a commit carrying a
@@ -63,6 +90,21 @@ type Config struct {
 	// re-sending the join request to its contact (the original may have
 	// died with a failed coordinator). Zero disables retries.
 	JoinRetry int64
+	// AwaitWait is the partial-topology await fallback. Every await
+	// clause of the protocol ("OK(p) or faulty_Mgr(p)", Figs. 8–10)
+	// terminates because F1 eventually reports any crashed member — an
+	// assumption that silently relies on every awaiting process
+	// monitoring every member. Under a partial monitoring topology a
+	// dead member's only monitors can themselves die or be excluded
+	// before their suspicion propagates, leaving a round or a
+	// reconfiguration phase wedged on a member nobody watches anymore.
+	// AwaitWait > 0 arms a timer per await: once a round or phase has
+	// sat unresolved that long, the awaiting process surmises faulty of
+	// every still-unaccounted member — its own local F1 input, wrong
+	// detections being legal (§2.2) and Table 1's surmise being the
+	// precedent. Zero disables the fallback (the default: all-to-all
+	// monitoring feeds every await through the detector itself).
+	AwaitWait int64
 	// TwoPhaseReconfig is the §7.3 strawman: reconfiguration skips the
 	// proposal phase and commits straight after interrogation. Claim 7.2
 	// proves this cannot solve GMP — without the Phase-II majority there

@@ -43,6 +43,15 @@ type Node struct {
 	reported  ids.Set
 	sponsored ids.Set
 
+	// relayable holds the suspects whose faulty_p(q) this node learned
+	// point-to-point (its own detector, a FaultyReport, or a Table 1
+	// surmise) and must therefore re-disseminate under a partial
+	// monitoring topology; relayed tracks, per suspect, the peers
+	// already sent the relay, so the flood terminates. Both are unused
+	// (and empty) when the Env is not a SuspicionRelayer.
+	relayable ids.Set
+	relayed   map[ids.ProcID]ids.Set
+
 	// Coordinator role.
 	round            *updateRound
 	everReconfigured bool
@@ -61,6 +70,13 @@ type Node struct {
 	timerGen    int
 	timerArmed  bool
 	cancelTimer func()
+
+	// Await fallback (Config.AwaitWait). awaitKey identifies which await
+	// the armed timer covers, so a new round or phase restarts the clock.
+	awaitGen    int
+	awaitArmed  bool
+	awaitKey    awaitKey
+	cancelAwait func()
 
 	// Future-view message buffer (§3) and its re-entrancy guard.
 	held     []heldMessage
@@ -82,6 +98,13 @@ type updateRound struct {
 type pendingUpdate struct {
 	op  member.Op
 	ver member.Version
+}
+
+// awaitKey names one await instance: the version a round would commit, or
+// the current view version plus phase for a reconfiguration.
+type awaitKey struct {
+	ver   member.Version
+	phase int
 }
 
 // reconfState is the initiator's three-phase progress.
@@ -106,6 +129,8 @@ func New(id ids.ProcID, env Env, cfg Config) *Node {
 		recovered: ids.NewSet(),
 		reported:  ids.NewSet(),
 		sponsored: ids.NewSet(),
+		relayable: ids.NewSet(),
+		relayed:   make(map[ids.ProcID]ids.Set),
 	}
 }
 
@@ -207,6 +232,10 @@ func (n *Node) SuspectWithLevel(q ids.ProcID, level float64) {
 	if !n.applyFaultyLevel(q, level) {
 		return
 	}
+	// A detector-sourced suspicion is point-to-point knowledge: under a
+	// partial topology nobody else may have observed it, so it must be
+	// relayed (reportSuspicions does both).
+	n.relayable.Add(q)
 	// GMP-5: ask the coordinator to start the removal algorithm — unless
 	// the coordinator itself is the suspect (reconfiguration handles it).
 	n.reportSuspicions()
@@ -258,8 +287,13 @@ func (n *Node) applyOperating(q ids.ProcID) {
 
 // reportSuspicions forwards unreported suspicions and unsponsored pending
 // joiners to the coordinator (GMP-5 and its recovery analogue). Reports are
-// re-sent to a new coordinator after reconfiguration.
+// re-sent to a new coordinator after reconfiguration. Under a partial
+// monitoring topology it also relays fresh point-to-point suspicions to
+// the topology peers — crucially *before* the coordinator gate below,
+// because a suspected coordinator is exactly the case where the relay is
+// the only dissemination path left.
 func (n *Node) reportSuspicions() {
+	n.relaySuspicions()
 	if n.mgr == n.id || n.isolated.Has(n.mgr) {
 		return
 	}
@@ -276,6 +310,53 @@ func (n *Node) reportSuspicions() {
 		}
 		n.sponsored.Add(j)
 		n.env.Send(n.mgr, JoinRequest{Joiner: j})
+	}
+}
+
+// relaySuspicions floods fresh point-to-point suspicions to the peers the
+// environment's monitoring topology designates (SuspicionRelayer). Each
+// (suspect, peer) pair is relayed at most once; peers are recomputed from
+// the members this node still believes operational, so the flood routes
+// around the suspects themselves (a ring re-closes over its live
+// remainder). A no-op for environments without a relayer — the simulator,
+// and live groups monitoring all-to-all.
+func (n *Node) relaySuspicions() {
+	if n.relayable.Len() == 0 || n.view == nil {
+		return
+	}
+	r, ok := n.env.(SuspicionRelayer)
+	if !ok {
+		return
+	}
+	var unsuspected []ids.ProcID
+	for _, m := range n.view.Members() {
+		if !n.isolated.Has(m) {
+			unsuspected = append(unsuspected, m)
+		}
+	}
+	peers := r.RelayPeers(unsuspected)
+	if len(peers) == 0 {
+		return
+	}
+	for _, q := range n.relayable.Sorted() {
+		if !n.view.Has(q) {
+			continue
+		}
+		for _, t := range peers {
+			if t == n.id || t == q || !n.view.Has(t) || n.isolated.Has(t) {
+				continue
+			}
+			sent := n.relayed[q]
+			if sent == nil {
+				sent = ids.NewSet()
+				n.relayed[q] = sent
+			}
+			if sent.Has(t) {
+				continue
+			}
+			sent.Add(t)
+			n.env.Send(t, FaultyReport{Suspect: q})
+		}
 	}
 }
 
@@ -367,6 +448,7 @@ func (n *Node) quit(reason string) {
 	n.alive = false
 	n.quitReason = reason
 	n.disarmTimer()
+	n.disarmAwaitTimer()
 	n.env.Record(event.Quit, ids.Nil)
 	n.env.Quit()
 }
@@ -382,6 +464,8 @@ func (n *Node) install(ops member.Seq) error {
 		switch op.Kind {
 		case member.OpRemove:
 			n.faulty.Remove(op.Target)
+			n.relayable.Remove(op.Target)
+			delete(n.relayed, op.Target)
 			n.env.Record(event.Remove, op.Target)
 		case member.OpAdd:
 			n.recovered.Remove(op.Target)
@@ -406,6 +490,13 @@ func (n *Node) step() {
 	if !n.alive || n.view == nil {
 		return
 	}
+	// The await fallback is maintained on the way out so a round or
+	// phase entered during this step arms its timer immediately.
+	defer func() {
+		if n.alive {
+			n.maintainAwaitTimer()
+		}
+	}()
 	if n.reconf != nil {
 		n.checkReconfPhase()
 		return
@@ -486,6 +577,91 @@ func (n *Node) disarmTimer() {
 	}
 }
 
+// --- Await fallback (Config.AwaitWait) ------------------------------------
+
+// maintainAwaitTimer arms the partial-topology await fallback whenever
+// this node is awaiting responses — a coordinator round or a
+// reconfiguration phase — and restarts the clock when the await changes
+// identity (a new round, the next phase). See Config.AwaitWait.
+func (n *Node) maintainAwaitTimer() {
+	var key awaitKey
+	want := n.cfg.AwaitWait > 0
+	switch {
+	case !want:
+	case n.reconf != nil:
+		key = awaitKey{ver: n.view.Version(), phase: n.reconf.phase}
+	case n.round != nil:
+		key = awaitKey{ver: n.round.ver}
+	default:
+		want = false
+	}
+	if !want {
+		n.disarmAwaitTimer()
+		return
+	}
+	if n.awaitArmed && key == n.awaitKey {
+		return
+	}
+	n.disarmAwaitTimer()
+	n.awaitArmed, n.awaitKey = true, key
+	n.awaitGen++
+	gen := n.awaitGen
+	n.cancelAwait = n.env.After(n.cfg.AwaitWait, func() { n.awaitFired(gen) })
+}
+
+func (n *Node) disarmAwaitTimer() {
+	if n.awaitArmed {
+		n.awaitArmed = false
+		n.awaitGen++
+		if n.cancelAwait != nil {
+			n.cancelAwait()
+			n.cancelAwait = nil
+		}
+	}
+}
+
+// awaitFired resolves a wedged await: every member whose response is
+// still outstanding is surmised faulty — this node's own F1 input for
+// members it does not monitor, exactly as legal as any other wrong
+// detection (§2.2). The surmise is relayed like a detector suspicion so
+// the rest of a partial topology learns it too.
+func (n *Node) awaitFired(gen int) {
+	if !n.alive || gen != n.awaitGen || n.view == nil {
+		return
+	}
+	n.awaitArmed = false
+	for _, m := range n.unaccounted() {
+		if n.applyFaulty(m) {
+			n.relayable.Add(m)
+		}
+	}
+	n.reportSuspicions()
+	n.step()
+}
+
+// unaccounted lists the view members the current await is still waiting
+// on: no response yet, and not already believed faulty.
+func (n *Node) unaccounted() []ids.ProcID {
+	var out []ids.ProcID
+	answered := func(m ids.ProcID) bool { return false }
+	switch {
+	case n.reconf != nil && n.reconf.phase == 1:
+		answered = func(m ids.ProcID) bool { _, ok := n.reconf.responses[m]; return ok }
+	case n.reconf != nil && n.reconf.phase == 2:
+		answered = n.reconf.phase2OK.Has
+	case n.round != nil:
+		answered = n.round.okFrom.Has
+	default:
+		return nil
+	}
+	for _, m := range n.view.Members() {
+		if m != n.id && !answered(m) && !n.isolated.Has(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
 // timerFired escalates: the most senior unsuspected process "should" have
 // initiated by now, so we surmise faulty(p) of it (Table 1, scenario 2) and
 // either expect the next candidate or initiate ourselves.
@@ -499,7 +675,11 @@ func (n *Node) timerFired(gen int) {
 		n.step()
 		return
 	}
-	n.applyFaulty(candidates[0])
+	if n.applyFaulty(candidates[0]) {
+		// A Table 1 surmise is local knowledge like a detector firing:
+		// relay it under a partial topology.
+		n.relayable.Add(candidates[0])
+	}
 	n.reportSuspicions()
 	n.step()
 }

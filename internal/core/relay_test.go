@@ -1,0 +1,149 @@
+package core_test
+
+// The suspicion-relay path (core.SuspicionRelayer) unit-tested at the
+// protocol layer: a ring-1 monitoring environment where the coordinator's
+// death is observed by exactly one process, whose faulty_p(Mgr) must hop
+// the ring to the member next in rank before reconfiguration can start.
+// The simulator's environments implement no relayer, so every pinned
+// message-count identity elsewhere in this package is untouched.
+
+import (
+	"testing"
+
+	"procgroup/internal/core"
+	"procgroup/internal/event"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+	"procgroup/internal/topology"
+)
+
+// relayBus is a tiny synchronous-pump substrate for driving core.Node
+// directly: sends queue FIFO and pump delivers them one at a time.
+type relayBus struct {
+	nodes map[ids.ProcID]*core.Node
+	queue []relayMsg
+	dead  ids.Set
+
+	// faultyReports counts FaultyReport sends per suspect, to bound the
+	// relay flood.
+	faultyReports map[ids.ProcID]int
+}
+
+type relayMsg struct {
+	from, to ids.ProcID
+	payload  any
+}
+
+func (b *relayBus) pump() {
+	for len(b.queue) > 0 {
+		m := b.queue[0]
+		b.queue = b.queue[1:]
+		if b.dead.Has(m.to) {
+			continue
+		}
+		if n := b.nodes[m.to]; n != nil && n.Alive() {
+			n.Deliver(m.from, m.payload)
+		}
+	}
+}
+
+// relayEnv implements core.Env plus core.SuspicionRelayer over a ring-k
+// monitoring topology.
+type relayEnv struct {
+	bus  *relayBus
+	id   ids.ProcID
+	topo topology.RingK
+}
+
+func (e *relayEnv) Send(to ids.ProcID, payload any) {
+	if fr, ok := payload.(core.FaultyReport); ok {
+		e.bus.faultyReports[fr.Suspect]++
+	}
+	e.bus.queue = append(e.bus.queue, relayMsg{e.id, to, payload})
+}
+
+func (e *relayEnv) After(int64, func()) (cancel func())        { return func() {} }
+func (e *relayEnv) Quit()                                      { e.bus.dead.Add(e.id) }
+func (e *relayEnv) Record(event.Kind, ids.ProcID)              {}
+func (e *relayEnv) RecordInstall(member.Version, []ids.ProcID) {}
+func (e *relayEnv) RelayPeers(unsuspected []ids.ProcID) []ids.ProcID {
+	return e.topo.Monitors(unsuspected, e.id)
+}
+
+func TestRelayCarriesCoordinatorSuspicionToNextInRank(t *testing.T) {
+	const n, k = 5, 1
+	procs := ids.Gen(n)
+	bus := &relayBus{
+		nodes:         make(map[ids.ProcID]*core.Node),
+		dead:          ids.NewSet(),
+		faultyReports: make(map[ids.ProcID]int),
+	}
+	cfg := core.Config{Compression: true, MajorityCheck: true} // no timers: the relay alone must suffice
+	for _, p := range procs {
+		bus.nodes[p] = core.New(p, &relayEnv{bus: bus, id: p, topo: topology.RingK{K: k}}, cfg)
+	}
+	for _, p := range procs {
+		bus.nodes[p].Bootstrap(procs)
+	}
+
+	// The coordinator dies. Under ring-1 only p5 (its sole rank
+	// predecessor) observes the silence.
+	mgr, observer, heir := procs[0], procs[n-1], procs[1]
+	bus.dead.Add(mgr)
+	bus.nodes[observer].Suspect(mgr)
+	bus.pump()
+
+	for _, p := range procs[1:] {
+		nd := bus.nodes[p]
+		if !nd.Alive() {
+			t.Fatalf("%v quit: %s", p, nd.QuitReason())
+		}
+		v := nd.View()
+		if v.Has(mgr) {
+			t.Errorf("%v still has the dead coordinator in %v", p, v)
+		}
+		if got := v.Mgr(); got != heir {
+			t.Errorf("%v's coordinator = %v, want %v", p, got, heir)
+		}
+	}
+	// The flood is bounded: each node relays a suspect to at most its k
+	// peers once, plus the GMP-5 report.
+	if got, max := bus.faultyReports[mgr], n*(k+1); got == 0 || got > max {
+		t.Errorf("FaultyReport(%v) sent %d times, want 1..%d", mgr, got, max)
+	}
+}
+
+func TestRelayInertWithoutRelayerEnv(t *testing.T) {
+	// An environment that is not a SuspicionRelayer must see exactly the
+	// seed behavior: a suspicion of the coordinator produces no
+	// FaultyReport at all (reportSuspicions has nowhere to report, and
+	// nothing relays).
+	procs := ids.Gen(3)
+	bus := &relayBus{
+		nodes:         make(map[ids.ProcID]*core.Node),
+		dead:          ids.NewSet(),
+		faultyReports: make(map[ids.ProcID]int),
+	}
+	cfg := core.Config{Compression: true, MajorityCheck: true}
+	for _, p := range procs {
+		bus.nodes[p] = core.New(p, plainEnv{&relayEnv{bus: bus, id: p}}, cfg)
+	}
+	for _, p := range procs {
+		bus.nodes[p].Bootstrap(procs)
+	}
+	bus.dead.Add(procs[0])
+	bus.nodes[procs[2]].Suspect(procs[0])
+	bus.pump()
+	if got := bus.faultyReports[procs[0]]; got != 0 {
+		t.Errorf("non-relayer env sent %d FaultyReports for the suspected coordinator, want 0", got)
+	}
+}
+
+// plainEnv strips the SuspicionRelayer method set down to core.Env.
+type plainEnv struct{ e *relayEnv }
+
+func (p plainEnv) Send(to ids.ProcID, payload any)                { p.e.Send(to, payload) }
+func (p plainEnv) After(d int64, fn func()) (cancel func())       { return p.e.After(d, fn) }
+func (p plainEnv) Quit()                                          { p.e.Quit() }
+func (p plainEnv) Record(k event.Kind, o ids.ProcID)              { p.e.Record(k, o) }
+func (p plainEnv) RecordInstall(v member.Version, m []ids.ProcID) { p.e.RecordInstall(v, m) }

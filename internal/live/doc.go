@@ -10,8 +10,13 @@
 // Each node's event loop multiplexes three inputs: its mailbox (transport
 // deliveries and local tasks), its timers, and a single per-node liveness
 // wheel that both emits heartbeat beacons and consults the failure
-// detector. Beacons coalesce: a protocol send doubles as a beacon, so a
-// pure Heartbeat goes out only on channels silent for a full interval.
+// detector. Who the wheel covers is the monitoring topology's decision
+// (Options.Topology; internal/topology): beacons go to the members that
+// watch this node, detector state exists only for the members this node
+// watches, both recomputed at every view installation — all-to-all by
+// default, O(k) per node under ring-k. Beacons coalesce: a protocol send
+// doubles as a beacon, so a pure Heartbeat goes out only on channels
+// silent for a full interval.
 // Suspicion policy is delegated to an fd.Detector chosen per group
 // through Options.Detector — the fixed SuspectAfter timeout by default,
 // the adaptive φ-accrual detector as the alternative — and the detector's

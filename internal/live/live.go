@@ -11,6 +11,7 @@ import (
 	"procgroup/internal/fd"
 	"procgroup/internal/ids"
 	"procgroup/internal/member"
+	"procgroup/internal/topology"
 	"procgroup/internal/trace"
 	"procgroup/internal/transport"
 )
@@ -53,6 +54,14 @@ type Options struct {
 	// delivery (transport.NewInmem), the seed behavior. The cluster
 	// takes ownership and closes it on Stop.
 	Transport transport.Transport
+	// Topology selects who monitors whom (beacons + detector state) per
+	// installed view. Nil selects topology.Full, the all-to-all seed
+	// behavior; topology.RingK monitors k rank-successors, cutting
+	// beacon traffic and (on socket transports) connection count from
+	// O(n²) to O(n·k) while the core suspicion-relay path preserves
+	// F1's eventual-suspicion contract. The same Topology value is
+	// shared by every node (implementations are stateless).
+	Topology topology.Topology
 	// UpdateBuffer sizes the installed-view stream (default 1024).
 	// When subscribers fall behind, installs are dropped and counted on
 	// Dropped rather than wedging the protocol.
@@ -95,11 +104,56 @@ type liveNode struct {
 	done chan struct{}
 
 	// loop-owned state (never touched outside the event loop):
-	node     *core.Node
-	peers    []ids.ProcID             // current view minus self, refreshed per install
-	det      fd.Detector              // failure-detection policy (F1 input)
-	lastSent map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
-	lastBeat time.Time                // previous liveness-wheel pass (stall guard)
+	node *core.Node
+	// watch is the set this node monitors (runs detector state for) and
+	// beaconTo the set that monitors this node (so it must beacon to
+	// them); wheel is their union in view order, the sequence one beat
+	// pass walks. All three are recomputed from Options.Topology at
+	// every install — O(k) under a partial topology instead of the O(n)
+	// all-peers the pre-topology wheel tracked. For topology.Full every
+	// member is both beaconed and watched and the wheel is the view
+	// minus self in view order: the seed behavior exactly, interleaving
+	// included (TestFullBeaconScheduleMatchesPreTopologyWheel).
+	watch     []ids.ProcID
+	beaconTo  []ids.ProcID
+	wheel     []wheelEntry
+	watchSet  ids.Set
+	beaconSet ids.Set
+	// relayPartial records whether this node's monitoring is partial
+	// (it does not watch every peer): only then are point-to-point
+	// suspicions relayed (core.SuspicionRelayer), because under full
+	// monitoring every process observes every failure itself.
+	relayPartial bool
+	det          fd.Detector              // failure-detection policy (F1 input)
+	lastSent     map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
+	lastBeat     time.Time                // previous liveness-wheel pass (stall guard)
+}
+
+// wheelEntry is one member's role in a node's liveness wheel.
+type wheelEntry struct {
+	m      ids.ProcID
+	beacon bool // this node beacons to m (m monitors this node)
+	watch  bool // this node monitors m (detector state + suspicion)
+}
+
+// buildWheel merges beaconTo and watch into the view's member order: the
+// per-pass walk keeps the pre-topology wheel's beacon-then-suspect
+// interleaving per member, which matters because a suspicion raised
+// mid-pass can trigger protocol sends that suppress later pure beacons in
+// the same pass.
+func buildWheel(members []ids.ProcID, self ids.ProcID, beaconTo, watch []ids.ProcID) []wheelEntry {
+	beacons, watches := ids.NewSet(beaconTo...), ids.NewSet(watch...)
+	wheel := make([]wheelEntry, 0, len(beaconTo)+len(watch))
+	for _, m := range members {
+		if m == self {
+			continue
+		}
+		e := wheelEntry{m: m, beacon: beacons.Has(m), watch: watches.Has(m)}
+		if e.beacon || e.watch {
+			wheel = append(wheel, e)
+		}
+	}
+	return wheel
 }
 
 // Start boots a cluster of opts.N processes and waits until every node has
@@ -123,14 +177,10 @@ func Start(opts Options) *Cluster {
 	if opts.Transport == nil {
 		opts.Transport = transport.NewInmem()
 	}
-	cfg := core.DefaultConfig()
-	if opts.Config != nil {
-		cfg = *opts.Config
+	if opts.Topology == nil {
+		opts.Topology = topology.Full{}
 	}
-	// Live timers tick in milliseconds.
-	if cfg.ReconfigWait == 0 {
-		cfg.ReconfigWait = int64(4 * opts.SuspectAfter / time.Millisecond)
-	}
+	cfg := nodeConfig(opts)
 
 	c := &Cluster{
 		opts:      opts,
@@ -154,6 +204,27 @@ func Start(opts Options) *Cluster {
 	}
 	c.mu.Unlock()
 	return c
+}
+
+// nodeConfig resolves the protocol configuration a node runs: the caller's
+// Config (DefaultConfig when nil) with the live-runtime defaults applied.
+// Live timers tick in milliseconds.
+func nodeConfig(opts Options) core.Config {
+	cfg := core.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	if cfg.ReconfigWait == 0 {
+		cfg.ReconfigWait = int64(4 * opts.SuspectAfter / time.Millisecond)
+	}
+	// Partial monitoring needs the await fallback: a round or phase must
+	// not wedge on a member whose only monitors are gone. Full keeps
+	// AwaitWait disabled — the seed behavior, where the detector itself
+	// feeds every await.
+	if _, full := opts.Topology.(topology.Full); !full && cfg.AwaitWait == 0 {
+		cfg.AwaitWait = int64(4 * opts.SuspectAfter / time.Millisecond)
+	}
+	return cfg
 }
 
 // spawnLocked creates and starts a node goroutine; c.mu must be held. The
@@ -231,22 +302,52 @@ func (ln *liveNode) dispatch(e envelope) {
 		return
 	}
 	if _, isBeat := e.payload.(Heartbeat); isBeat {
-		ln.det.ObserveBeacon(e.from, time.Now())
+		if ln.observes(e.from) {
+			ln.det.ObserveBeacon(e.from, time.Now())
+		}
 		return
 	}
-	ln.det.Observe(e.from, time.Now())
+	if ln.observes(e.from) {
+		ln.det.Observe(e.from, time.Now())
+	}
 	if e.msgID != 0 {
 		ln.c.rec.RecordRecv(e.from, ln.id, e.msgID, labelOf(e.payload))
 	}
 	ln.node.Deliver(e.from, e.payload)
 }
 
+// observes reports whether traffic from q should feed this node's
+// detector. Under a partial topology only watched members do — otherwise
+// every coordinator commit or relayed report from a non-neighbor would
+// regrow the detector's per-peer state (an accrual window each) back to
+// O(n) between installs, the exact scaling the topology exists to cap.
+// Under full monitoring every sender feeds it, the seed behavior.
+func (ln *liveNode) observes(q ids.ProcID) bool {
+	return !ln.relayPartial || ln.watchSet.Has(q)
+}
+
+// beaconDue reports whether the channel to m is owed a pure beacon at
+// now, updating lastSent when it is. This is the beacon-scheduling
+// decision of the pre-topology wheel extracted verbatim (same silence
+// test — piggybacked traffic within the last interval suppresses the
+// beacon — and the same lastSent refresh).
+func beaconDue(m ids.ProcID, lastSent map[ids.ProcID]time.Time, now time.Time, every time.Duration) bool {
+	if sent, ok := lastSent[m]; !ok || now.Sub(sent) >= every {
+		lastSent[m] = now
+		return true
+	}
+	return false
+}
+
 // beat is one pass of the node's liveness wheel: a single per-node ticker
-// drives beacons and suspicion for the whole membership — there are no
-// per-peer timers. Heartbeats piggyback on protocol traffic: any frame
-// sent to a peer within the last beacon interval already proved this node
-// alive (a send IS a beacon, and every receive feeds the detector on the
-// far side), so a pure beacon goes out only on channels that have been
+// drives beacons and suspicion for the whole monitoring topology — there
+// are no per-peer timers. Beacons go to the members that monitor this
+// node (beaconTo); detector state is kept, and suspicion raised, only for
+// the members this node monitors (watch) — both O(k) under a partial
+// topology. Heartbeats piggyback on protocol traffic: any frame sent to a
+// peer within the last beacon interval already proved this node alive (a
+// send IS a beacon, and every receive feeds the detector on the far
+// side), so a pure beacon goes out only on channels that have been
 // silent. Suspicion is delegated to the pluggable detector (F1, §2.2):
 // members it declares silent are suspected, with its graded suspicion
 // level recorded on the Faulty trace event.
@@ -275,19 +376,21 @@ func (ln *liveNode) beat() {
 	}
 	stalled := !ln.lastBeat.IsZero() && now.Sub(ln.lastBeat) > guard
 	ln.lastBeat = now
-	if len(ln.peers) == 0 {
+	if len(ln.wheel) == 0 {
 		return
 	}
-	for _, m := range ln.peers {
-		if sent, ok := ln.lastSent[m]; !ok || now.Sub(sent) >= ln.c.opts.HeartbeatEvery {
-			ln.c.post(ln.id, m, 0, Heartbeat{})
-			ln.lastSent[m] = now
+	for _, e := range ln.wheel {
+		if e.beacon && beaconDue(e.m, ln.lastSent, now, ln.c.opts.HeartbeatEvery) {
+			ln.c.post(ln.id, e.m, 0, Heartbeat{})
+		}
+		if !e.watch {
+			continue
 		}
 		switch {
 		case stalled:
-			ln.det.Rearm(m, now)
-		case ln.det.Suspect(m, now):
-			ln.node.SuspectWithLevel(m, ln.det.Suspicion(m, now))
+			ln.det.Rearm(e.m, now)
+		case ln.det.Suspect(e.m, now):
+			ln.node.SuspectWithLevel(e.m, ln.det.Suspicion(e.m, now))
 		}
 	}
 }
@@ -309,7 +412,12 @@ func (e *liveEnv) Send(to ids.ProcID, payload any) {
 	ln := (*liveNode)(e)
 	id := msgID(ln.c)
 	ln.c.rec.RecordSend(ln.id, to, id, labelOf(payload))
-	ln.lastSent[to] = time.Now() // a protocol send doubles as a beacon
+	// A protocol send doubles as a beacon — but only channels the wheel
+	// beacons on need the suppression state; under a partial topology,
+	// stamping every recipient would regrow lastSent to O(n).
+	if !ln.relayPartial || ln.beaconSet.Has(to) {
+		ln.lastSent[to] = time.Now()
+	}
 	ln.c.post(ln.id, to, id, payload)
 }
 
@@ -358,6 +466,21 @@ func (e *liveEnv) Record(k event.Kind, other ids.ProcID) {
 	ln.c.rec.RecordInternal(ln.id, k, other)
 }
 
+// RelayPeers implements core.SuspicionRelayer: under a partial monitoring
+// topology, fresh point-to-point suspicions are relayed to the members
+// this node monitors among those it still believes operational — the
+// topology re-closed over the unsuspected remainder, so the relay routes
+// around the suspects themselves. Under full monitoring (topology.Full,
+// or RingK's k ≥ n−1 degenerate case) it returns nil and the runtime
+// behaves exactly as it did before topologies existed.
+func (e *liveEnv) RelayPeers(unsuspected []ids.ProcID) []ids.ProcID {
+	ln := (*liveNode)(e)
+	if !ln.relayPartial {
+		return nil
+	}
+	return ln.c.opts.Topology.Monitors(unsuspected, ln.id)
+}
+
 // RecordLevel implements core.LevelRecorder: Faulty events carry the
 // detector's suspicion level into the trace.
 func (e *liveEnv) RecordLevel(k event.Kind, other ids.ProcID, level float64) {
@@ -367,20 +490,22 @@ func (e *liveEnv) RecordLevel(k event.Kind, other ids.ProcID, level float64) {
 
 func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln := (*liveNode)(e)
-	// Refresh the liveness wheel's peer snapshot (loop-owned), dropping
-	// tracking state for processes no longer in the view.
-	peers := make([]ids.ProcID, 0, len(members))
-	current := make(map[ids.ProcID]bool, len(members))
-	for _, m := range members {
-		current[m] = true
-		if m != ln.id {
-			peers = append(peers, m)
-		}
-	}
-	ln.peers = peers
-	ln.det.Retain(members)
+	// Refresh the liveness wheel from the monitoring topology
+	// (loop-owned): recomputing on every install is what re-closes a
+	// partial topology around excluded members. Detector state is
+	// retained only for the watch set and beacon piggyback state only
+	// for the beacon set, so both maps are O(k) under a partial
+	// topology.
+	topo := ln.c.opts.Topology
+	ln.watch = topo.Monitors(members, ln.id)
+	ln.beaconTo = topology.BeaconTargets(topo, members, ln.id)
+	ln.watchSet = ids.NewSet(ln.watch...)
+	ln.beaconSet = ids.NewSet(ln.beaconTo...)
+	ln.wheel = buildWheel(members, ln.id, ln.beaconTo, ln.watch)
+	ln.relayPartial = len(ln.watch) < len(members)-1
+	ln.det.Retain(ln.watch)
 	for q := range ln.lastSent {
-		if !current[q] {
+		if !ln.beaconSet.Has(q) {
 			delete(ln.lastSent, q)
 		}
 	}
@@ -464,10 +589,7 @@ func (c *Cluster) Kill(p ids.ProcID) {
 
 // Join spawns a new process that asks contact to sponsor it into the group.
 func (c *Cluster) Join(p, contact ids.ProcID) {
-	cfg := core.DefaultConfig()
-	if c.opts.Config != nil {
-		cfg = *c.opts.Config
-	}
+	cfg := nodeConfig(c.opts)
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()

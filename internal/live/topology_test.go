@@ -1,0 +1,425 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"procgroup/internal/check"
+	"procgroup/internal/ids"
+	"procgroup/internal/topology"
+	"procgroup/internal/transport"
+)
+
+// --- Pinned: Full topology reproduces the pre-topology wheel exactly ---------
+
+// oldWheel replays, literally, the liveness wheel the live runtime ran
+// before the topology extraction:
+//
+//	peers := view members minus self, in view order   // per install
+//	for _, m := range peers {                          // per beat
+//		if sent, ok := lastSent[m]; !ok || now.Sub(sent) >= every {
+//			post(Heartbeat); lastSent[m] = now
+//		}
+//		// ... suspicion check for the same m, which may Send and
+//		// thereby refresh lastSent mid-pass ...
+//	}
+//
+// TestFullBeaconScheduleMatchesPreTopologyWheel drives it and the
+// topology-extracted wheel (buildWheel + beaconDue, walked exactly the
+// way liveNode.beat walks it) over identical randomized schedules of
+// installs, ticks and mid-pass protocol sends, and requires bit-identical
+// beacon schedules — the Full extraction is behavior-preserving by
+// construction, not by resemblance.
+type oldWheel struct {
+	self     ids.ProcID
+	peers    []ids.ProcID
+	lastSent map[ids.ProcID]time.Time
+}
+
+func (o *oldWheel) install(members []ids.ProcID) {
+	o.peers = o.peers[:0]
+	current := make(map[ids.ProcID]bool, len(members))
+	for _, m := range members {
+		current[m] = true
+		if m != o.self {
+			o.peers = append(o.peers, m)
+		}
+	}
+	for q := range o.lastSent {
+		if !current[q] {
+			delete(o.lastSent, q)
+		}
+	}
+}
+
+func (o *oldWheel) beat(now time.Time, every time.Duration, onPeer func(m ids.ProcID, beaconed bool)) {
+	for _, m := range o.peers {
+		beaconed := false
+		if sent, ok := o.lastSent[m]; !ok || now.Sub(sent) >= every {
+			beaconed = true
+			o.lastSent[m] = now
+		}
+		onPeer(m, beaconed)
+	}
+}
+
+// newWheel drives the extracted scheduling code (buildWheel + beaconDue)
+// with the same walk order liveNode.beat uses.
+type newWheel struct {
+	self     ids.ProcID
+	topo     topology.Topology
+	wheel    []wheelEntry
+	lastSent map[ids.ProcID]time.Time
+	beacons  ids.Set
+}
+
+func (w *newWheel) install(members []ids.ProcID) {
+	watch := w.topo.Monitors(members, w.self)
+	beaconTo := topology.BeaconTargets(w.topo, members, w.self)
+	w.beacons = ids.NewSet(beaconTo...)
+	w.wheel = buildWheel(members, w.self, beaconTo, watch)
+	for q := range w.lastSent {
+		if !w.beacons.Has(q) {
+			delete(w.lastSent, q)
+		}
+	}
+}
+
+func (w *newWheel) beat(now time.Time, every time.Duration, onPeer func(m ids.ProcID, beaconed bool)) {
+	for _, e := range w.wheel {
+		beaconed := e.beacon && beaconDue(e.m, w.lastSent, now, every)
+		onPeer(e.m, beaconed)
+	}
+}
+
+func TestFullBeaconScheduleMatchesPreTopologyWheel(t *testing.T) {
+	const every = 20 * time.Millisecond
+	self := ids.Named("self")
+	universe := ids.Gen(6)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		olds := &oldWheel{self: self, lastSent: make(map[ids.ProcID]time.Time)}
+		news := &newWheel{self: self, topo: topology.Full{}, lastSent: make(map[ids.ProcID]time.Time)}
+		install := func() {
+			// A random view containing self, in a stable order.
+			members := []ids.ProcID{self}
+			for _, p := range universe {
+				if rng.Intn(3) > 0 {
+					members = append(members, p)
+				}
+			}
+			olds.install(members)
+			news.install(members)
+		}
+		install()
+		for step := 0; step < 400; step++ {
+			now = now.Add(time.Duration(rng.Intn(15_000)) * time.Microsecond)
+			switch rng.Intn(6) {
+			case 0:
+				install()
+			case 1: // a protocol send piggybacks as a beacon on one channel
+				if len(olds.peers) > 0 {
+					q := olds.peers[rng.Intn(len(olds.peers))]
+					olds.lastSent[q] = now
+					news.lastSent[q] = now
+				}
+			default: // a beat tick; suspicion may Send mid-pass
+				var oldSched, newSched []string
+				sendDuring := rng.Intn(4) == 0
+				mid := func(lastSent map[ids.ProcID]time.Time, peers []ids.ProcID, i int) {
+					// Emulate a suspicion firing at the i-th peer whose
+					// handling sends protocol traffic to every peer (the
+					// coordinator-starts-a-round case), suppressing the
+					// rest of this pass's pure beacons.
+					if sendDuring && i == 1 {
+						for _, q := range peers {
+							lastSent[q] = now
+						}
+					}
+				}
+				i := 0
+				olds.beat(now, every, func(m ids.ProcID, beaconed bool) {
+					if beaconed {
+						oldSched = append(oldSched, m.String())
+					}
+					mid(olds.lastSent, olds.peers, i)
+					i++
+				})
+				j := 0
+				news.beat(now, every, func(m ids.ProcID, beaconed bool) {
+					if beaconed {
+						newSched = append(newSched, m.String())
+					}
+					mid(news.lastSent, olds.peers, j)
+					j++
+				})
+				if fmt.Sprint(oldSched) != fmt.Sprint(newSched) {
+					t.Fatalf("seed %d step %d: beacon schedule diverged\n  old: %v\n  new: %v",
+						seed, step, oldSched, newSched)
+				}
+			}
+		}
+	}
+}
+
+// --- RingK end to end ---------------------------------------------------------
+
+func ringOpts(n, k int) Options {
+	opts := fast(n)
+	opts.Topology = topology.RingK{K: k}
+	return opts
+}
+
+func checkGMP(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	running := ids.NewSet(c.Running()...)
+	rep := check.Run(check.Input{
+		Recorder: c.Recorder(),
+		Initial:  ids.Gen(n),
+		Alive:    running.Has,
+	})
+	if !rep.OK() {
+		t.Errorf("ring trace violates GMP:\n%v", rep)
+	}
+}
+
+func TestRingExcludesKilledMember(t *testing.T) {
+	// Under ring-1 only one process monitors the victim; its report to
+	// the (live) coordinator must still drive the exclusion.
+	c := Start(ringOpts(5, 1))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := ids.Named("p4") // not the coordinator, not its monitor
+	c.Kill(victim)
+	v, err := c.WaitConverged(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(victim) {
+		t.Fatalf("victim still in %v", v)
+	}
+	checkGMP(t, c, 5)
+}
+
+func TestRingCoordinatorDeathReconfiguresViaRelay(t *testing.T) {
+	// Ring-1, kill the coordinator: only its single rank-predecessor
+	// observes the death, and the next-in-rank (who must initiate
+	// reconfiguration) does not monitor the coordinator at all. The
+	// suspicion-relay path is the only way faulty(Mgr) can reach it
+	// before the Table 1 timeout; with the relay, reconfiguration
+	// completes at detection speed.
+	c := Start(ringOpts(6, 1))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p1"))
+	v, err := c.WaitConverged(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p1")) {
+		t.Fatalf("dead coordinator still in %v", v)
+	}
+	if v.Mgr() != ids.Named("p2") {
+		t.Errorf("Mgr = %v, want p2", v.Mgr())
+	}
+	checkGMP(t, c, 6)
+}
+
+func TestRingDegenerateKCollapsesToFull(t *testing.T) {
+	// k ≥ n−1: every node watches everyone, nothing is relayed, and the
+	// cluster behaves exactly like Full — including excluding a killed
+	// coordinator.
+	c := Start(ringOpts(4, 9))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p1"))
+	v, err := c.WaitConverged(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p1")) {
+		t.Fatalf("dead coordinator still in %v", v)
+	}
+	checkGMP(t, c, 4)
+}
+
+func TestRingPartitionedMonitorRelayStillExcludes(t *testing.T) {
+	// The Chaos × RingK interplay: ring-1 over p1..p5, so p2 is the ONLY
+	// monitor of p3. Kill p3 and simultaneously block everything p2
+	// sends to the coordinator p1 — p2's GMP-5 report can never arrive.
+	// p3's exclusion must still happen, through the dissemination
+	// machinery the partial topology adds: p2's relay carries faulty(p3)
+	// to its next unsuspected ring successor p4, which forwards it to
+	// p1; and if that relay is itself lost to the race with p2's own
+	// exclusion (S1 discards traffic from members already believed
+	// faulty), the coordinator's await fallback (Config.AwaitWait)
+	// surmises faulty of the unaccounted p3 rather than wedging the
+	// round on a member nobody monitors anymore. (p2 goes silent toward
+	// its own monitor p1 and is usually excluded too — an asymmetric
+	// partition is indistinguishable from a crash, which the paper
+	// permits; with p3 and p2 gone the {p1, p4, p5} majority keeps the
+	// group live.)
+	opts := ringOpts(5, 1)
+	ch := transport.NewChaos(transport.NewInmem(), transport.ChaosOptions{})
+	opts.Transport = ch
+	c := Start(opts)
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ch.SetLink(ids.Named("p2"), ids.Named("p1"), transport.ChaosLink{Blocked: true})
+	c.Kill(ids.Named("p3"))
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		v := c.ViewOf(ids.Named("p1"))
+		if v != nil && !v.Has(ids.Named("p3")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("the relay never carried the monitor's suspicion around the partition: p3 still in the coordinator's view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRingChurnKeepsCoverageAndGMP is the churn property test: across
+// kill/join cycles under ring-k, every install must re-close the ring so
+// that each live member is monitored by ≥1 live member, and the full
+// accumulated trace must still certify GMP. Coverage is asserted on every
+// converged view, including the k ≥ live-peer-count degenerate boundary
+// the shrinking group crosses.
+func TestRingChurnKeepsCoverageAndGMP(t *testing.T) {
+	const n, k = 5, 2
+	c := Start(ringOpts(n, k))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertCoverage := func(members []ids.ProcID) {
+		t.Helper()
+		topo := topology.RingK{K: k}
+		monitored := ids.NewSet()
+		for _, p := range members {
+			for _, q := range topo.Monitors(members, p) {
+				monitored.Add(q)
+			}
+		}
+		for _, q := range members {
+			if len(members) > 1 && !monitored.Has(q) {
+				t.Fatalf("coverage broken: %v monitored by nobody in %v", q, members)
+			}
+		}
+	}
+	inc := uint32(0)
+	for cycle := 0; cycle < 3; cycle++ {
+		running := c.Running()
+		victim := running[len(running)-1]
+		if victim == ids.Named("p1") && len(running) > 1 {
+			victim = running[len(running)-2]
+		}
+		c.Kill(victim)
+		v, err := c.WaitConverged(15 * time.Second)
+		if err != nil {
+			t.Fatalf("cycle %d after kill: %v", cycle, err)
+		}
+		assertCoverage(v.Members())
+		inc++
+		reborn := ids.ProcID{Site: victim.Site, Incarnation: victim.Incarnation + inc}
+		c.Join(reborn, c.Running()[0])
+		v, err = c.WaitConverged(15 * time.Second)
+		if err != nil {
+			t.Fatalf("cycle %d after join: %v", cycle, err)
+		}
+		assertCoverage(v.Members())
+	}
+	checkGMP(t, c, n)
+}
+
+// TestRingShrinksDetectorStateToK pins the O(n)→O(k) claim operationally:
+// after install, a ring node's wheel only covers its 2k neighbors, not
+// the whole view.
+func TestRingShrinksDetectorStateToK(t *testing.T) {
+	const n, k = 9, 2
+	c := Start(ringOpts(n, k))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	ln := c.nodes[ids.Named("p5")]
+	c.mu.Unlock()
+	if ln == nil {
+		t.Fatal("p5 missing")
+	}
+	done := make(chan struct{})
+	var watch, beaconTo, wheel int
+	ln.box.put(envelope{fn: func() {
+		watch, beaconTo, wheel = len(ln.watch), len(ln.beaconTo), len(ln.wheel)
+		close(done)
+	}})
+	<-done
+	if watch != k || beaconTo != k || wheel != 2*k {
+		t.Errorf("ring node tracks watch=%d beaconTo=%d wheel=%d, want %d/%d/%d (O(k), not O(n))",
+			watch, beaconTo, wheel, k, k, 2*k)
+	}
+}
+
+func TestFullTopologyExplicitMatchesDefault(t *testing.T) {
+	// GroupOptions.Topology = Full must behave exactly like the nil
+	// default (it IS the default): boot, kill, exclude, GMP.
+	opts := fast(5)
+	opts.Topology = topology.Full{}
+	c := Start(opts)
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p5"))
+	v, err := c.WaitConverged(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p5")) {
+		t.Fatalf("victim still in %v", v)
+	}
+	checkGMP(t, c, 5)
+}
+
+func TestRingOverTCPExcludesKilledMember(t *testing.T) {
+	// The whole stack at once: ring-2 monitoring over real sockets. The
+	// lazily-dialed connection count must stay at the ring's footprint
+	// (≤ n·k pairs, well under the full mesh's n(n−1)/2) while exclusion
+	// still works.
+	const n, k = 6, 2
+	opts := ringOpts(n, k)
+	opts.Transport = transport.NewTCP()
+	c := Start(opts)
+	defer c.Stop()
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let the beacon pattern settle, then check the gauge.
+	time.Sleep(10 * opts.HeartbeatEvery)
+	if conns, max := c.TransportStats().ConnsOpen, int64(n*k); conns == 0 || conns > max {
+		t.Errorf("ring ConnsOpen = %d, want 1..%d (full mesh would be %d)", conns, max, n*(n-1)/2)
+	}
+	victim := ids.Named("p4")
+	c.Kill(victim)
+	v, err := c.WaitConverged(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(victim) {
+		t.Fatalf("victim still in %v", v)
+	}
+	checkGMP(t, c, n)
+}

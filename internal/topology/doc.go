@@ -1,0 +1,8 @@
+// Package topology makes the monitoring relation of the live runtime a
+// pluggable policy: a Topology maps a view's membership to the set of
+// members each process watches, decoupling *who monitors whom* from *who
+// is a member*. Full reproduces the pre-extraction all-to-all behavior;
+// RingK monitors k rank-successors around the seniority ring, cutting
+// beacon traffic from O(n²) to O(n·k) while the suspicion-relay path in
+// internal/core preserves F1's eventual-suspicion contract.
+package topology

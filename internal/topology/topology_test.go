@@ -1,0 +1,152 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+func view(n int) []ids.ProcID { return ids.Gen(n) }
+
+func TestFullMonitorsEveryoneElseInOrder(t *testing.T) {
+	v := view(5)
+	got := Full{}.Monitors(v, v[2])
+	want := []ids.ProcID{v[0], v[1], v[3], v[4]}
+	if !equal(got, want) {
+		t.Errorf("Full.Monitors = %v, want %v", got, want)
+	}
+	if got := (Full{}).Monitors(v, ids.Named("stranger")); got != nil {
+		t.Errorf("non-member monitors %v, want nil", got)
+	}
+}
+
+func TestRingKMonitorsSuccessors(t *testing.T) {
+	v := view(6)
+	r := RingK{K: 2}
+	// Middle of the ring.
+	if got, want := r.Monitors(v, v[1]), []ids.ProcID{v[2], v[3]}; !equal(got, want) {
+		t.Errorf("Monitors(p2) = %v, want %v", got, want)
+	}
+	// Wrap-around: the most junior member's successors are the seniors.
+	if got, want := r.Monitors(v, v[5]), []ids.ProcID{v[0], v[1]}; !equal(got, want) {
+		t.Errorf("Monitors(p6) = %v, want %v", got, want)
+	}
+	// Inverse: predecessors, nearest first.
+	if got, want := r.MonitoredBy(v, v[0]), []ids.ProcID{v[5], v[4]}; !equal(got, want) {
+		t.Errorf("MonitoredBy(p1) = %v, want %v", got, want)
+	}
+}
+
+func TestRingKDegeneratesToFull(t *testing.T) {
+	// k ≥ n−1 must collapse to the full mesh exactly — the degenerate
+	// case in which a partial topology would otherwise drop coverage.
+	for _, n := range []int{2, 3, 4, 5} {
+		v := view(n)
+		for _, k := range []int{n - 1, n, n + 3} {
+			r := RingK{K: k}
+			for _, self := range v {
+				if got, want := r.Monitors(v, self), (Full{}).Monitors(v, self); !equal(got, want) {
+					t.Errorf("n=%d k=%d RingK.Monitors(%v) = %v, want Full %v", n, k, self, got, want)
+				}
+				if got, want := r.MonitoredBy(v, self), (Full{}).MonitoredBy(v, self); !equal(got, want) {
+					t.Errorf("n=%d k=%d RingK.MonitoredBy(%v) = %v, want Full %v", n, k, self, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRingKZeroValueUsesDefaultK(t *testing.T) {
+	v := view(10)
+	if got := len(RingK{}.Monitors(v, v[0])); got != DefaultRingK {
+		t.Errorf("zero-value RingK monitors %d members, want %d", got, DefaultRingK)
+	}
+}
+
+// TestCoverageInvariant is the property the live runtime depends on after
+// every install: under any topology here, every view member is monitored
+// by at least one *other* member, so no failure can go unobserved. Views
+// and k are randomized; the degenerate k ≥ n−1 collapse is included.
+func TestCoverageInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		v := view(n)
+		topos := []Topology{Full{}, RingK{K: 1 + rng.Intn(n+1)}}
+		for _, topo := range topos {
+			monitored := ids.NewSet()
+			for _, p := range v {
+				for _, q := range topo.Monitors(v, p) {
+					if q == p {
+						t.Fatalf("%T: %v monitors itself", topo, p)
+					}
+					monitored.Add(q)
+				}
+			}
+			for _, q := range v {
+				if !monitored.Has(q) {
+					t.Fatalf("%T n=%d: %v is monitored by nobody", topo, n, q)
+				}
+			}
+		}
+	}
+}
+
+// TestBeaconTargetsMatchesGenericInverse pins the Inverter fast paths to
+// the generic inverse of Monitors: p beacons to q exactly when q
+// monitors p.
+func TestBeaconTargetsMatchesGenericInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(10)
+		v := view(n)
+		for _, topo := range []Topology{Full{}, RingK{K: 1 + rng.Intn(n+1)}} {
+			for _, self := range v {
+				fast := BeaconTargets(topo, v, self)
+				generic := BeaconTargets(generically{topo}, v, self)
+				if !sameSet(fast, generic) {
+					t.Fatalf("%T n=%d self=%v: fast inverse %v, generic %v", topo, n, self, fast, generic)
+				}
+			}
+		}
+	}
+}
+
+// generically hides a Topology's Inverter so BeaconTargets takes the
+// generic path.
+type generically struct{ t Topology }
+
+func (g generically) Monitors(view []ids.ProcID, self ids.ProcID) []ids.ProcID {
+	return g.t.Monitors(view, self)
+}
+
+func TestRingKFilteredViewReclosesRing(t *testing.T) {
+	// The suspicion-relay path calls Monitors over the view minus the
+	// members the relayer believes faulty: the ring must re-close over
+	// the remainder, skipping the suspects entirely.
+	v := view(5)
+	alive := []ids.ProcID{v[0], v[1], v[3]} // v[2], v[4] suspected
+	got := RingK{K: 1}.Monitors(alive, v[1])
+	want := []ids.ProcID{v[3]}
+	if !equal(got, want) {
+		t.Errorf("filtered ring successors of %v = %v, want %v", v[1], got, want)
+	}
+}
+
+func equal(a, b []ids.ProcID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b []ids.ProcID) bool {
+	return fmt.Sprint(ids.NewSet(a...).Sorted()) == fmt.Sprint(ids.NewSet(b...).Sorted())
+}

@@ -97,8 +97,27 @@ func (t *TCP) Addr(p ids.ProcID) (string, bool) {
 	return a, ok
 }
 
-// Stats implements Transport.
-func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+// Stats implements Transport. ConnsOpen reports the pair links currently
+// established — the lazily-dialed connection footprint a monitoring
+// topology actually produces (pairs whose mux exists but whose link is
+// down or not yet dialed do not count).
+func (t *TCP) Stats() Stats {
+	s := t.stats.snapshot()
+	t.mu.RLock()
+	pairs := make([]*pairMux, 0, len(t.pairs))
+	for _, m := range t.pairs {
+		pairs = append(pairs, m)
+	}
+	t.mu.RUnlock()
+	for _, m := range pairs {
+		m.mu.Lock()
+		if m.conn != nil {
+			s.ConnsOpen++
+		}
+		m.mu.Unlock()
+	}
+	return s
+}
 
 // Register implements Transport: it opens p's listener and starts its
 // accept loop.

@@ -74,9 +74,17 @@ type Stats struct {
 	// wrapper (loss, burst windows, partitions) — injected faults, never
 	// congestion or dead hosts.
 	ChaosInjected int64
+	// ConnsOpen is a gauge, not a counter: the number of connections
+	// currently established (TCP: one per peer pair with an active
+	// multiplexed link; always 0 on connectionless transports). Because
+	// the TCP transport dials lazily — a link exists only once some
+	// frame actually needed it — this measures the monitoring topology's
+	// real footprint: a full mesh settles at n(n−1)/2, ring-k at ~n·k.
+	ConnsOpen int64
 }
 
-// Dropped sums every drop reason.
+// Dropped sums every drop reason. ConnsOpen is a gauge, not a drop, and
+// is excluded.
 func (s Stats) Dropped() int64 {
 	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed + s.Closed + s.ChaosInjected
 }

@@ -338,6 +338,61 @@ func TestTCPOneConnectionPerPair(t *testing.T) {
 
 // TestTCPStatsCountDropReasons: frames lost to unknown peers, saturated
 // queues, and post-close sends must land in distinct counters.
+func TestTCPConnsOpenGauge(t *testing.T) {
+	tr := NewTCP()
+	defer tr.Close()
+	a, b, c := ids.Named("a"), ids.Named("b"), ids.Named("c")
+	var sa, sb, sc sink
+	for _, reg := range []struct {
+		p ids.ProcID
+		s *sink
+	}{{a, &sa}, {b, &sb}, {c, &sc}} {
+		if err := tr.Register(reg.p, reg.s.handler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Stats().ConnsOpen; got != 0 {
+		t.Fatalf("ConnsOpen before any traffic = %d, want 0 (dialing is lazy)", got)
+	}
+	// First frame on a pair establishes exactly one link.
+	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{N: 1}})
+	waitFor(t, 5*time.Second, func() bool { return sb.len() == 1 }, "a→b delivery")
+	if got := tr.Stats().ConnsOpen; got != 1 {
+		t.Errorf("ConnsOpen after a→b = %d, want 1", got)
+	}
+	// The reverse direction rides the same socket: still one link.
+	tr.Send(b, a, Message{MsgID: 2, Payload: fifoPayload{N: 2}})
+	waitFor(t, 5*time.Second, func() bool { return sa.len() == 1 }, "b→a delivery")
+	if got := tr.Stats().ConnsOpen; got != 1 {
+		t.Errorf("ConnsOpen after b→a on the same pair = %d, want 1", got)
+	}
+	tr.Send(a, c, Message{MsgID: 3, Payload: fifoPayload{N: 3}})
+	waitFor(t, 5*time.Second, func() bool { return sc.len() == 1 }, "a→c delivery")
+	if got := tr.Stats().ConnsOpen; got != 2 {
+		t.Errorf("ConnsOpen with two active pairs = %d, want 2", got)
+	}
+	// Unregistering tears down every pair touching the process.
+	tr.Unregister(c)
+	waitFor(t, 5*time.Second, func() bool { return tr.Stats().ConnsOpen == 1 },
+		"gauge to drop after Unregister")
+}
+
+func TestInmemConnsOpenAlwaysZero(t *testing.T) {
+	tr := NewInmem()
+	defer tr.Close()
+	var s sink
+	if err := tr.Register(ids.Named("a"), s.handler); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(ids.Named("b"), s.handler); err != nil {
+		t.Fatal(err)
+	}
+	tr.Send(ids.Named("a"), ids.Named("b"), Message{MsgID: 1, Payload: fifoPayload{}})
+	if got := tr.Stats().ConnsOpen; got != 0 {
+		t.Errorf("inmem ConnsOpen = %d, want 0 (connectionless)", got)
+	}
+}
+
 func TestTCPStatsCountDropReasons(t *testing.T) {
 	oldDepth := tcpQueueDepth
 	tcpQueueDepth = 1

@@ -10,6 +10,7 @@ import (
 	"procgroup/internal/live"
 	"procgroup/internal/member"
 	"procgroup/internal/scenario"
+	"procgroup/internal/topology"
 	"procgroup/internal/transport"
 )
 
@@ -67,6 +68,10 @@ type (
 	ChaosTransportOptions = transport.ChaosOptions
 	// ChaosLink shapes one directed link of a ChaosTransport.
 	ChaosLink = transport.ChaosLink
+	// Topology selects who monitors whom in a live group (F1's
+	// monitoring relation decoupled from membership); set it on
+	// GroupOptions.Topology. Nil keeps all-to-all monitoring.
+	Topology = topology.Topology
 )
 
 // NewInmemTransport builds the default in-process transport explicitly
@@ -77,7 +82,9 @@ func NewInmemTransport() Transport { return transport.NewInmem() }
 // real TCP sockets on loopback — the paper's asynchronous network of
 // reliable FIFO channels (§2.1) made literal. Every unordered peer pair
 // shares one multiplexed connection carrying channel-tagged binary
-// frames, so an n-process group opens n(n−1)/2 sockets. Use the returned
+// frames, dialed lazily on first use: under all-to-all monitoring an
+// n-process group settles at n(n−1)/2 sockets, under NewRingTopology(k)
+// at ~n·k (TransportStats().ConnsOpen measures it). Use the returned
 // value's AddPeer/Addr to span OS processes or hosts.
 func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
 
@@ -115,6 +122,23 @@ func NewAccrualDetector(opts AccrualDetectorOptions) DetectorFactory {
 func NewChaosTransport(inner Transport, opts ChaosTransportOptions) *ChaosTransport {
 	return transport.NewChaos(inner, opts)
 }
+
+// NewFullTopology selects all-to-all monitoring: every member beacons to
+// and watches every other, the default (GroupOptions.Topology = nil) made
+// explicit for A/B runs. Beacon traffic and TCP connection count grow
+// quadratically with the group.
+func NewFullTopology() Topology { return topology.Full{} }
+
+// NewRingTopology selects ring-k monitoring: the view's seniority order
+// is closed into a ring and each member watches its k rank-successors
+// (and beacons to its k rank-predecessors), recomputed at every view
+// installation so churn re-closes the ring. Beacon traffic is O(n·k) and
+// a TCP group settles at ~n·k connections instead of n(n−1)/2; a
+// monitor's suspicion reaches the coordinator via the relay path riding
+// F2 gossip, preserving F1's eventual-suspicion contract (see
+// DESIGN.md §8 and experiment E17). k ≤ 0 selects the default (3);
+// k ≥ n−1 degenerates to full monitoring.
+func NewRingTopology(k int) Topology { return topology.RingK{K: k} }
 
 // Named returns the incarnation-0 identifier for a site name.
 func Named(site string) ProcID { return ids.Named(site) }

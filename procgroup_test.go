@@ -115,3 +115,27 @@ func TestLiveFacade(t *testing.T) {
 		t.Errorf("view after kill %v", v)
 	}
 }
+
+func TestRingTopologyFacade(t *testing.T) {
+	// The root API end to end under ring-k monitoring: boot, kill the
+	// coordinator (whose death only its ring predecessors observe), and
+	// converge on the reconfigured view.
+	g := procgroup.StartGroup(procgroup.GroupOptions{
+		N:              5,
+		HeartbeatEvery: 5 * time.Millisecond,
+		SuspectAfter:   30 * time.Millisecond,
+		Topology:       procgroup.NewRingTopology(2),
+	})
+	defer g.Stop()
+	if _, err := g.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Kill(procgroup.Named("p1"))
+	v, err := g.WaitConverged(15 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(procgroup.Named("p1")) || v.Mgr() != procgroup.Named("p2") {
+		t.Errorf("view after coordinator kill: %v", v)
+	}
+}
