@@ -26,11 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, fd, scale")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, saturation, fd, scale")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
 	fdFlags()
 	scaleFlags()
+	satFlags()
 	flag.Parse()
 
 	run := func(name string, fn func(int64)) {
@@ -48,6 +49,12 @@ func main() {
 	run("cuts", cuts)
 	run("ablation", ablation)
 	run("transport", transportPerf)
+	// Standalone saturation runs skip E15's microbenches (CI smoke);
+	// "all" already covers the arms via transportPerf.
+	if *exp == "saturation" {
+		satPerf()
+		fmt.Println()
+	}
 	run("fd", fdPerf)
 	run("scale", scalePerf)
 }

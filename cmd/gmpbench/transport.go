@@ -54,6 +54,9 @@ type transportReport struct {
 		FramesPerSec      float64 `json:"frames_per_sec"`
 		HeartbeatAllocsOp int64   `json:"heartbeat_send_allocs_per_op"`
 	} `json:"tcp"`
+	// Saturation is E18: detector quality per wire plane while a
+	// neighbor floods its link (see saturation.go).
+	Saturation []satArm `json:"saturation"`
 }
 
 // benchWireFrames mirrors internal/transport's BenchmarkFrameCodec mix.
@@ -139,6 +142,9 @@ func transportPerf(int64) {
 	fmt.Printf("roundtrip alloc ratio (gob/binary): %.1f×  (bar: ≥10×)\n", rep.Codec.RoundtripAllocRatio)
 	fmt.Printf("mux throughput: %.0f frames/sec through one pair connection\n", rep.TCP.FramesPerSec)
 	fmt.Printf("heartbeat send: %d allocs/op (bar: 0)\n", rep.TCP.HeartbeatAllocsOp)
+
+	fmt.Println()
+	rep.Saturation = satPerf()
 
 	if transportOut != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")

@@ -86,7 +86,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write the full run as JSON Lines to this file")
 	list := flag.Bool("list", false, "list scenarios")
 	liveRun := flag.Bool("live", false, "run the churn scenario on the live goroutine runtime instead of the simulator")
-	transportName := flag.String("transport", "inmem", "live transport: inmem, tcp (loopback sockets), or lossy (ABP over a lossy link)")
+	transportName := flag.String("transport", "inmem", "live transport: inmem, tcp (loopback sockets), lossy (ABP over a lossy link), or twoplane (beacons on UDP, protocol on TCP)")
 	topologyName := flag.String("topology", "full", "live monitoring topology: full (all-to-all) or ring:k (each member watches its k rank-successors), e.g. ring:3")
 	flag.Parse()
 
@@ -189,8 +189,10 @@ func runLive(transportName string, topo procgroup.Topology, n int) {
 		tr = procgroup.NewTCPTransport()
 	case "lossy":
 		tr = procgroup.NewLossyTransport(procgroup.LossyTransportOptions{})
+	case "twoplane":
+		tr = procgroup.NewUDPBeaconTransport(nil) // beacons on UDP, protocol on TCP
 	default:
-		fmt.Fprintf(os.Stderr, "unknown transport %q; want inmem, tcp or lossy\n", transportName)
+		fmt.Fprintf(os.Stderr, "unknown transport %q; want inmem, tcp, lossy or twoplane\n", transportName)
 		os.Exit(1)
 	}
 	if n < 3 {

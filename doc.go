@@ -21,10 +21,14 @@
 // Three live-group dimensions are selectable per group:
 //
 //   - Transport (GroupOptions.Transport): in-process delivery (default),
-//     real TCP sockets (NewTCPTransport), a lossy datagram link repaired
-//     by the alternating-bit protocol (NewLossyTransport), or any of
-//     those degraded by the chaos harness (NewChaosTransport — per-link
-//     delay, jitter, beacon loss, burst outages, asymmetric partitions).
+//     real TCP sockets (NewTCPTransport), a UDP datagram plane
+//     (NewUDPTransport), the two-plane wire that keeps beacons on UDP
+//     and protocol traffic on a stream (NewUDPBeaconTransport — the
+//     failure detector's samples can no longer queue behind bulk data),
+//     a lossy datagram link repaired by the alternating-bit protocol
+//     (NewLossyTransport), or any of those degraded by the chaos harness
+//     (NewChaosTransport — per-link delay, jitter, beacon loss, burst
+//     outages, asymmetric partitions).
 //
 //   - Failure detection (GroupOptions.Detector): the classic fixed
 //     silence threshold (NewFixedTimeoutDetector, the default via

@@ -32,6 +32,18 @@ func init() {
 	transport.RegisterBeaconPayload(heartbeatKind, Heartbeat{}) // zero-alloc wire fast path
 }
 
+// SubstrateTraffic marks payload types that ride a group's wire without
+// being protocol messages — load generators, side-channel bulk data.
+// The live runtime drops a marked payload at dispatch: it never reaches
+// the protocol state machine (which panics on vocabulary it does not
+// know) and it never feeds the failure detector. The second half is
+// deliberate layering, not an omission: the detector's evidence is the
+// monitoring schedule's beacons, and letting an application's bulk
+// stream stand in for them would keep a peer "alive" exactly as long as
+// its data flows — masking the saturation failures a separate beacon
+// plane exists to expose.
+type SubstrateTraffic interface{ SubstrateTraffic() }
+
 // Options configures a live cluster.
 type Options struct {
 	// N is the initial group size.
@@ -80,6 +92,13 @@ type Cluster struct {
 	opts Options
 	rec  *trace.Recorder
 	tr   transport.Transport
+	// planed records whether the substrate carries beacons on a
+	// dedicated plane (transport.BeaconPlaner). With a plane, beacons
+	// are emitted cadence-pure — every wheel pass, no piggyback
+	// suppression — because a planed beacon costs one datagram, cannot
+	// queue behind protocol traffic, and every emission is one clean
+	// inter-arrival sample for the peer's detector.
+	planed bool
 
 	dropped atomic.Int64 // installs lost to a full updates stream
 
@@ -182,9 +201,11 @@ func Start(opts Options) *Cluster {
 	}
 	cfg := nodeConfig(opts)
 
+	_, planed := opts.Transport.(transport.BeaconPlaner)
 	c := &Cluster{
 		opts:      opts,
 		tr:        opts.Transport,
+		planed:    planed,
 		nodes:     make(map[ids.ProcID]*liveNode, opts.N),
 		updates:   make(chan ViewUpdate, opts.UpdateBuffer),
 		installed: make(chan struct{}, 1),
@@ -307,6 +328,9 @@ func (ln *liveNode) dispatch(e envelope) {
 		}
 		return
 	}
+	if _, sub := e.payload.(SubstrateTraffic); sub {
+		return // non-protocol wire traffic: not evidence, never delivered
+	}
 	if ln.observes(e.from) {
 		ln.det.Observe(e.from, time.Now())
 	}
@@ -380,7 +404,10 @@ func (ln *liveNode) beat() {
 		return
 	}
 	for _, e := range ln.wheel {
-		if e.beacon && beaconDue(e.m, ln.lastSent, now, ln.c.opts.HeartbeatEvery) {
+		// On a dedicated beacon plane the piggyback suppression is
+		// skipped: suppressing a cadence-pure datagram saves nothing and
+		// costs the peer's detector its cleanest sample.
+		if e.beacon && (ln.c.planed || beaconDue(e.m, ln.lastSent, now, ln.c.opts.HeartbeatEvery)) {
 			ln.c.post(ln.id, e.m, 0, Heartbeat{})
 		}
 		if !e.watch {
@@ -414,8 +441,9 @@ func (e *liveEnv) Send(to ids.ProcID, payload any) {
 	ln.c.rec.RecordSend(ln.id, to, id, labelOf(payload))
 	// A protocol send doubles as a beacon — but only channels the wheel
 	// beacons on need the suppression state; under a partial topology,
-	// stamping every recipient would regrow lastSent to O(n).
-	if !ln.relayPartial || ln.beaconSet.Has(to) {
+	// stamping every recipient would regrow lastSent to O(n). With a
+	// dedicated beacon plane there is no suppression, so no state.
+	if !ln.c.planed && (!ln.relayPartial || ln.beaconSet.Has(to)) {
 		ln.lastSent[to] = time.Now()
 	}
 	ln.c.post(ln.id, to, id, payload)

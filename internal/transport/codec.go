@@ -9,6 +9,7 @@ import (
 	"math"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"procgroup/internal/core"
 	"procgroup/internal/ids"
@@ -96,11 +97,15 @@ type payloadCodec struct {
 	dec    func(*Decoder) any
 }
 
+// binReg is the registry. Lookups are lock-free — the codec paths hit
+// them once per frame on both the encode and decode side, and a shared
+// RWMutex there is a measurable fraction of the wire budget; the mutex
+// only serializes (rare, init-time) registration.
 var binReg = struct {
-	sync.RWMutex
-	byKind [256]*payloadCodec
-	byType map[reflect.Type]*payloadCodec
-}{byType: make(map[reflect.Type]*payloadCodec)}
+	sync.Mutex // serializes registration; readers never take it
+	byKind     [256]atomic.Pointer[payloadCodec]
+	byType     sync.Map // reflect.Type → *payloadCodec
+}{}
 
 func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any, empty, beacon bool) {
 	if kind == kindGob {
@@ -109,14 +114,14 @@ func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Dec
 	c := &payloadCodec{kind: kind, typ: reflect.TypeOf(proto), empty: empty, beacon: beacon, proto: proto, enc: enc, dec: dec}
 	binReg.Lock()
 	defer binReg.Unlock()
-	if prev := binReg.byKind[kind]; prev != nil {
+	if prev := binReg.byKind[kind].Load(); prev != nil {
 		panic(fmt.Sprintf("transport: kind %d already registered to %v", kind, prev.typ))
 	}
-	if _, dup := binReg.byType[c.typ]; dup {
+	if _, dup := binReg.byType.Load(c.typ); dup {
 		panic(fmt.Sprintf("transport: %v already has a binary codec", c.typ))
 	}
-	binReg.byKind[kind] = c
-	binReg.byType[c.typ] = c
+	binReg.byKind[kind].Store(c)
+	binReg.byType.Store(c.typ, c)
 }
 
 // RegisterBinaryPayload gives a payload type a hand-rolled binary codec at
@@ -142,17 +147,14 @@ func RegisterBeaconPayload(kind byte, proto any) {
 }
 
 func binCodecFor(v any) *payloadCodec {
-	binReg.RLock()
-	c := binReg.byType[reflect.TypeOf(v)]
-	binReg.RUnlock()
-	return c
+	if c, ok := binReg.byType.Load(reflect.TypeOf(v)); ok {
+		return c.(*payloadCodec)
+	}
+	return nil
 }
 
 func binCodecByKind(kind byte) *payloadCodec {
-	binReg.RLock()
-	c := binReg.byKind[kind]
-	binReg.RUnlock()
-	return c
+	return binReg.byKind[kind].Load()
 }
 
 // muxHello announces which unordered peer pair a freshly dialed mux
@@ -196,6 +198,13 @@ func (e *Encoder) Bool(v bool) {
 func (e *Encoder) String(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.b = append(e.b, s...)
+}
+
+// Blob appends a uvarint length followed by the raw bytes, for opaque
+// byte-slice payload fields (bulk traffic riding the group's wire).
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.b = append(e.b, b...)
 }
 
 // Decoder reads wire primitives from a byte slice. After any failure every
@@ -295,6 +304,26 @@ func (d *Decoder) String() string {
 		return s
 	}
 	return string(b)
+}
+
+// Blob reads a uvarint-length-prefixed byte slice (always a copy of the
+// input — the buffer may be pooled). An empty blob decodes to nil.
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("blob")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
 }
 
 // count reads a slice length and bounds it by the minimum wire size of
@@ -466,22 +495,32 @@ func newFrameReader(r io.Reader) *frameReader {
 }
 
 func (fr *frameReader) read() (Frame, error) {
-	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+	body, err := fr.readBody()
+	if err != nil {
 		return Frame{}, err
+	}
+	fr.dec.reset(body)
+	return decodeFrame(&fr.dec)
+}
+
+// readBody reads one length-prefixed frame body into the reader's
+// reusable buffer. The returned slice is valid only until the next call.
+func (fr *frameReader) readBody() ([]byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(fr.hdr[:])
 	if n > maxFrame {
-		return Frame{}, fmt.Errorf("transport: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
 	}
 	if uint32(cap(fr.buf)) < n {
 		fr.buf = make([]byte, n)
 	}
 	body := fr.buf[:n]
 	if _, err := io.ReadFull(fr.r, body); err != nil {
-		return Frame{}, err
+		return nil, err
 	}
-	fr.dec.reset(body)
-	return decodeFrame(&fr.dec)
+	return body, nil
 }
 
 // --- Core vocabulary codecs --------------------------------------------------

@@ -8,23 +8,39 @@
 //     the default for tests and single-process deployments;
 //   - TCP: real sockets on loopback or a LAN, one multiplexed
 //     length-prefixed binary stream per unordered peer pair
-//     (channel-tagged frames, per-channel FIFO queues behind one writer),
-//     with reconnect — the paper's asynchronous network made literal;
+//     (channel-tagged frames, per-channel FIFO queues drained by one
+//     writer into vectored batches, decoded by a channel-sharded reader
+//     pool), with reconnect — the paper's asynchronous network made
+//     literal;
+//   - UDP: one datagram per frame — no ordering, no retransmission, no
+//     backpressure. The wrong contract for protocol traffic and exactly
+//     the right one for beacons, whose information content is their
+//     arrival time: a drop costs one idempotent sample, while queueing
+//     delay (what a shared stream imposes) distorts every inter-arrival
+//     the failure detector fits (DESIGN.md §9);
+//   - TwoPlane: the composition that routes beacon-class payloads to a
+//     datagram plane and everything else to a stream plane, exposing the
+//     split via BeaconPlaner so the live runtime can send cadence-pure
+//     beacons;
 //   - Lossy: an adversarial datagram link (loss, duplication, delay)
 //     repaired by the alternating-bit protocol of internal/channel — the
 //     paper's §3 claim that reliable FIFO channels are implementable
 //     rather than assumed, demonstrated end-to-end;
-//   - Chaos: a wrapper that degrades any of the above with per-link
-//     delay, jitter, beacon loss, burst outages and asymmetric
-//     partitions, reconfigurable at runtime — the live chaos harness
-//     that opens the simulator's adversity space (internal/netsim) to
-//     the goroutine runtime, used by E16's failure-detector A/B.
+//   - Chaos: a wrapper that degrades any of the above — including UDP —
+//     with per-link delay, jitter, beacon loss, burst outages and
+//     asymmetric partitions, reconfigurable at runtime — the live chaos
+//     harness that opens the simulator's adversity space
+//     (internal/netsim) to the goroutine runtime, used by E16's
+//     failure-detector A/B.
 //
 // Every implementation shares datagram-drop semantics for dead hosts
 // (silence is the failure detector's problem, §2.2) and per-reason drop
-// accounting through Stats. The wire codec (Frame, AppendFrame /
-// EncodeFrame / ReadFrame) is a hand-rolled length-prefixed binary format
-// covering the whole internal/core wire vocabulary plus registered
-// substrate beacons, with a gob escape hatch for everything else; the
-// format is pinned byte-for-byte by golden tests (DESIGN.md §6).
+// accounting through Stats, which also gauges send-queue depth (current
+// and high-water) so congestion is observable before it becomes drops.
+// The wire codec (Frame, AppendFrame / EncodeFrame / ReadFrame /
+// DecodeFrame) is a hand-rolled binary format — length-prefixed on
+// streams, bare frame body per datagram — covering the whole
+// internal/core wire vocabulary plus registered substrate beacons, with
+// a gob escape hatch for everything else; the format is pinned
+// byte-for-byte by golden tests (DESIGN.md §6).
 package transport

@@ -71,3 +71,51 @@ func FuzzReadFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadDatagram is FuzzReadFrame's sibling for the datagram plane:
+// one UDP payload is one bare frame body (no length prefix — the
+// datagram boundary frames it), fed straight to DecodeFrame exactly as
+// UDP's read loop does. Whatever a hostile or corrupt datagram carries,
+// decode must return a frame or an error — never panic — and valid
+// decodes must re-encode.
+func FuzzReadDatagram(f *testing.F) {
+	seed := func(fr Frame) {
+		blob, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		if len(blob) > 3 {
+			f.Add(blob[:len(blob)-3]) // truncated tail — the kernel cannot, but a peer can
+		}
+	}
+	p3 := ids.ProcID{Site: "p3", Incarnation: 2}
+	seed(Frame{From: "p1", To: "p2", Body: core.OK{Ver: 4}})
+	seed(Frame{From: "p1", To: "p2", Body: muxHello{}}) // beacon-shaped: kind + identifiers only
+	seed(Frame{From: "p1", To: "p3#2", MsgID: 5, Body: core.Commit{
+		Op: member.Remove(p3), Ver: 4, Faulty: []ids.ProcID{p3},
+	}})
+	seed(Frame{From: "a", To: "b", MsgID: 1, Body: gobOnlyPayload{S: "x"}})
+	f.Add([]byte{})           // zero-length datagram
+	f.Add([]byte{0xfe, 0x01}) // unknown kind
+	{                         // hostile 64-bit slice count (would wrap a multiplicative bound)
+		var e Encoder
+		e.Byte(6) // Propose
+		e.String("p1")
+		e.String("p2")
+		e.Uvarint(0)
+		e.Varint(1)
+		e.Uvarint(1 << 63)
+		f.Add(e.Bytes())
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil || fr.Body == nil {
+			return
+		}
+		if _, err := EncodeFrame(fr); err != nil {
+			t.Fatalf("decoded datagram does not re-encode: %v (%#v)", err, fr)
+		}
+	})
+}

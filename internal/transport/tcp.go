@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"procgroup/internal/ids"
@@ -36,6 +38,20 @@ type TCP struct {
 	closed bool
 	wg     sync.WaitGroup
 	stats  statCounters
+
+	// localsGen counts mutations of locals; readers cache endpoint
+	// lookups against it (routeState.endpoint).
+	localsGen atomic.Uint64
+
+	// pairsSnap is a copy-on-write snapshot of pairs, republished on
+	// every (rare) mutation, so the Send fast path resolves its mux with
+	// one atomic load instead of an RWMutex round trip per frame.
+	pairsSnap atomic.Pointer[map[pairKey]*pairMux]
+
+	// shards is the decode worker pool (nil when tcpReadShards ≤ 1 and
+	// connections decode inline on their read goroutine). See readShard.
+	shards  []*readShard
+	shardWg sync.WaitGroup
 }
 
 // chanKey names one directed channel.
@@ -67,17 +83,36 @@ type tcpEndpoint struct {
 // (A var, not a const, so saturation tests can lower it.)
 var tcpQueueDepth = 1024
 
+// tcpReadShards sets the decode fan-out of transports built after it:
+// inbound frames are decoded by this many worker goroutines instead of
+// on each connection's read goroutine, so decode work scales with the
+// cores available. At 1 (any single-core box) the pool is skipped
+// entirely — a per-frame goroutine handoff on one core only adds
+// scheduling latency. (A var, not a const, so tests can force the
+// sharded path regardless of GOMAXPROCS.)
+var tcpReadShards = min(runtime.GOMAXPROCS(0), 16)
+
 // NewTCP builds a TCP transport whose listeners bind loopback.
 func NewTCP() *TCP { return NewTCPHost("127.0.0.1") }
 
 // NewTCPHost builds a TCP transport binding listeners on host.
 func NewTCPHost(host string) *TCP {
-	return &TCP{
+	t := &TCP{
 		host:   host,
 		addrs:  make(map[ids.ProcID]string),
 		locals: make(map[ids.ProcID]*tcpEndpoint),
 		pairs:  make(map[pairKey]*pairMux),
 	}
+	if n := tcpReadShards; n > 1 {
+		t.shards = make([]*readShard, n)
+		for i := range t.shards {
+			sh := &readShard{ch: make(chan shardItem, 256)}
+			t.shards[i] = sh
+			t.shardWg.Add(1)
+			go t.runShard(sh)
+		}
+	}
+	return t
 }
 
 // AddPeer introduces a remote process reachable at addr, for deployments
@@ -114,6 +149,7 @@ func (t *TCP) Stats() Stats {
 		if m.conn != nil {
 			s.ConnsOpen++
 		}
+		s.SendQueueNow += int64(m.pending)
 		m.mu.Unlock()
 	}
 	return s
@@ -136,6 +172,7 @@ func (t *TCP) Register(p ids.ProcID, h Handler) error {
 	}
 	ep := &tcpEndpoint{ln: ln, h: h, conns: make(map[net.Conn]struct{})}
 	t.locals[p] = ep
+	t.localsGen.Add(1)
 	t.addrs[p] = ln.Addr().String()
 	t.wg.Add(1)
 	go t.accept(ep)
@@ -150,6 +187,7 @@ func (t *TCP) Unregister(p ids.ProcID) {
 	ep, ok := t.locals[p]
 	if ok {
 		delete(t.locals, p)
+		t.localsGen.Add(1)
 	}
 	// The stale address stays in addrs: dials to it now fail, which is
 	// exactly the dead-host behavior senders must see.
@@ -159,6 +197,9 @@ func (t *TCP) Unregister(p ids.ProcID) {
 			drop = append(drop, m)
 			delete(t.pairs, k)
 		}
+	}
+	if len(drop) > 0 {
+		t.republishPairsLocked()
 	}
 	t.mu.Unlock()
 	if ok {
@@ -189,6 +230,14 @@ func (t *TCP) Send(from, to ids.ProcID, m Message) {
 		return
 	}
 	k := pairOf(from, to)
+	// Fast path: resolve the mux from the lock-free snapshot. enqueue
+	// reports false only for a mux stopped since the snapshot — fall
+	// through and let the locked path sort out why.
+	if snap := t.pairsSnap.Load(); snap != nil {
+		if mx := (*snap)[k]; mx != nil && mx.enqueue(chanKey{from, to}, m) {
+			return
+		}
+	}
 	t.mu.RLock()
 	closed := t.closed
 	mx := t.pairs[k]
@@ -210,7 +259,9 @@ func (t *TCP) Send(from, to ids.ProcID, m Message) {
 		}
 		t.mu.Unlock()
 	}
-	mx.enqueue(chanKey{from, to}, m)
+	if !mx.enqueue(chanKey{from, to}, m) {
+		t.stats.closed.Add(1)
+	}
 }
 
 // newPairLocked creates the mux for pair k and starts its writer; t.mu
@@ -226,9 +277,21 @@ func (t *TCP) newPairLocked(k pairKey, dialTo ids.ProcID) *pairMux {
 		quit:   make(chan struct{}),
 	}
 	t.pairs[k] = m
+	t.republishPairsLocked()
 	t.wg.Add(1)
 	go m.run()
 	return m
+}
+
+// republishPairsLocked refreshes the lock-free pairs snapshot; t.mu must
+// be held. Pair churn is rare (creation, unregister, close), so the copy
+// cost never rides the send path.
+func (t *TCP) republishPairsLocked() {
+	snap := make(map[pairKey]*pairMux, len(t.pairs))
+	for k, m := range t.pairs {
+		snap[k] = m
+	}
+	t.pairsSnap.Store(&snap)
 }
 
 // Close implements Transport.
@@ -244,11 +307,13 @@ func (t *TCP) Close() error {
 		eps = append(eps, ep)
 	}
 	t.locals = make(map[ids.ProcID]*tcpEndpoint)
+	t.localsGen.Add(1)
 	muxes := make([]*pairMux, 0, len(t.pairs))
 	for _, m := range t.pairs {
 		muxes = append(muxes, m)
 	}
 	t.pairs = make(map[pairKey]*pairMux)
+	t.republishPairsLocked()
 	t.mu.Unlock()
 	for _, ep := range eps {
 		ep.shutdown()
@@ -257,6 +322,12 @@ func (t *TCP) Close() error {
 		m.stop()
 	}
 	t.wg.Wait()
+	// Readers are gone, so nothing can enqueue into the shard pool; let
+	// the workers drain what is in flight and exit.
+	for _, sh := range t.shards {
+		close(sh.ch)
+	}
+	t.shardWg.Wait()
 	return nil
 }
 
@@ -279,28 +350,100 @@ func (t *TCP) accept(ep *tcpEndpoint) {
 
 // readConn drains one connection — accepted (ep non-nil) or dialed by a
 // pair writer (m non-nil) — routing each frame to the addressed local
-// handler. A muxHello adopts the connection into its pair's mux so the
-// accepting side can send on the same socket.
+// handler. The stream is buffered, so a frame costs amortized fractions
+// of a read syscall rather than two. A muxHello adopts the connection
+// into its pair's mux so the accepting side can send on the same socket.
+//
+// With a shard pool (multi-core), the reader only frames the stream: it
+// peeks each frame's channel identifiers, hashes them, and hands the raw
+// body to that channel's decode shard. One channel always maps to one
+// shard, so the §2.1 per-channel FIFO survives the fan-out; distinct
+// channels decode concurrently. Without a pool the reader decodes
+// inline, exactly the single-core-optimal path.
 func (t *TCP) readConn(c net.Conn, ep *tcpEndpoint, m *pairMux) {
 	defer t.wg.Done()
-	fr := newFrameReader(c)
-	lastSeq := make(map[chanKey]uint64)
-	for {
-		f, err := fr.read()
-		if err != nil {
-			break // EOF on peer close, or corruption: abandon the stream
+	fr := newFrameReader(bufio.NewReaderSize(c, 128<<10))
+	shards := t.shards
+	var states []*routeState
+	if len(shards) > 0 {
+		// Per-connection, per-shard routing state: shard i is the only
+		// goroutine that ever touches states[i].
+		states = make([]*routeState, len(shards))
+		for i := range states {
+			states[i] = newRouteState()
 		}
-		if _, hello := f.Body.(muxHello); hello {
-			mm, keep := t.adopt(f, c)
-			if !keep {
+	}
+	var rs *routeState
+	if len(shards) == 0 {
+		rs = newRouteState()
+	}
+	for {
+		body, err := fr.readBody()
+		if err != nil {
+			break // EOF on peer close, or framing corruption: abandon the stream
+		}
+		if len(body) == 0 {
+			t.stats.drop(dropDecodeFailed)
+			break
+		}
+		if len(shards) == 0 {
+			// Single-core path: decode and route inline — the frame stays
+			// on this goroutine's stack.
+			fr.dec.reset(body)
+			f, err := decodeFrame(&fr.dec)
+			if err != nil {
+				t.stats.drop(dropDecodeFailed)
 				break
 			}
-			if mm != nil {
-				m = mm
+			if _, hello := f.Body.(muxHello); hello {
+				mm, keep := t.adopt(f, c)
+				if !keep {
+					break
+				}
+				if mm != nil {
+					m = mm
+				}
+				continue
 			}
+			t.route(f, rs)
 			continue
 		}
-		t.route(f, lastSeq)
+		// Hellos and gob frames decode inline even with shards: a hello
+		// must adopt before later frames dispatch, and a gob body's
+		// channel cannot be found without decoding it. A decoded gob
+		// frame still rides its channel's shard queue so it cannot
+		// reorder against binary frames of the same channel.
+		if body[0] == kindMuxHello || body[0] == kindGob {
+			fr.dec.reset(body)
+			f := new(Frame) // escapes by design: it may be handed to a shard
+			*f, err = decodeFrame(&fr.dec)
+			if err != nil {
+				t.stats.drop(dropDecodeFailed)
+				break
+			}
+			if _, hello := f.Body.(muxHello); hello {
+				mm, keep := t.adopt(*f, c)
+				if !keep {
+					break
+				}
+				if mm != nil {
+					m = mm
+				}
+				continue
+			}
+			idx := int(fnvStrings(f.From, f.To) % uint32(len(shards)))
+			shards[idx].ch <- shardItem{f: f, rs: states[idx], conn: c}
+			continue
+		}
+		h, ok := chanShard(body)
+		if !ok {
+			t.stats.drop(dropDecodeFailed)
+			break
+		}
+		idx := int(h % uint32(len(shards)))
+		bp := shardBufs.Get().(*[]byte)
+		*bp = append((*bp)[:0], body...)
+		shards[idx].ch <- shardItem{body: bp, rs: states[idx], conn: c}
 	}
 	if m != nil {
 		m.dropConn(c)
@@ -309,6 +452,147 @@ func (t *TCP) readConn(c net.Conn, ep *tcpEndpoint, m *pairMux) {
 		ep.untrack(c)
 	}
 	c.Close()
+}
+
+// readShard is one decode worker: a FIFO of raw frame bodies drained by
+// one goroutine, so everything dispatched to a shard stays in dispatch
+// order.
+type readShard struct {
+	ch chan shardItem
+}
+
+// shardItem is one inbound frame in flight to its decode shard: either a
+// raw pooled body, or (gob frames) an already-decoded frame that only
+// needs routing. rs is the dispatching connection's routing state for
+// this shard; conn lets the worker kill the stream on decode failure.
+type shardItem struct {
+	body *[]byte
+	f    *Frame
+	rs   *routeState
+	conn net.Conn
+}
+
+// shardBufs pools raw frame bodies between connection readers and decode
+// shards.
+var shardBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
+// runShard decodes and routes frames for one shard.
+func (t *TCP) runShard(sh *readShard) {
+	defer t.shardWg.Done()
+	var d Decoder
+	d.intern = make(map[string]string)
+	for it := range sh.ch {
+		if it.f != nil {
+			t.route(*it.f, it.rs)
+			continue
+		}
+		d.reset(*it.body)
+		f, err := decodeFrame(&d)
+		shardBufs.Put(it.body)
+		if err != nil {
+			// Undecodable bytes mean the stream can no longer be trusted;
+			// closing the conn unwinds its reader, mirroring the inline
+			// path's abandon-on-corruption.
+			t.stats.drop(dropDecodeFailed)
+			it.conn.Close()
+			continue
+		}
+		t.route(f, it.rs)
+	}
+}
+
+// chanShard extracts the From/To identifier bytes of a binary frame body
+// without decoding it and hashes them, so a reader can pick the frame's
+// decode shard. Every frame of one directed channel hashes identically —
+// per-channel FIFO is preserved across the fan-out.
+func chanShard(body []byte) (uint32, bool) {
+	off := 1 // skip the kind tag; two uvarint-length-prefixed strings follow
+	h := uint32(2166136261)
+	for i := 0; i < 2; i++ {
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 || n > uint64(len(body)-off-w) {
+			return 0, false
+		}
+		off += w
+		for _, b := range body[off : off+int(n)] {
+			h = (h ^ uint32(b)) * 16777619
+		}
+		off += int(n)
+	}
+	return h, true
+}
+
+// fnvStrings hashes from and to exactly as chanShard hashes their wire
+// bytes, so pre-decoded frames land in the same shard as binary ones.
+func fnvStrings(from, to string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(from); i++ {
+		h = (h ^ uint32(from[i])) * 16777619
+	}
+	for i := 0; i < len(to); i++ {
+		h = (h ^ uint32(to[i])) * 16777619
+	}
+	return h
+}
+
+// routeState caches one inbound goroutine's routing lookups so the
+// steady-state read path avoids a string-keyed map hash and an RWMutex
+// round per frame. An instance is confined to a single goroutine's view
+// of a single connection: the connection reader (inline decode) or one
+// decode shard, and dies with the connection — which is what starts the
+// FIFO check fresh across a reconnect.
+type routeState struct {
+	seqs  map[chanKey]*uint64 // per-channel mux sequence floor
+	lastK chanKey             // cache of the channel the previous frame used
+	lastP *uint64
+	eps   [2]epCache // a mux connection serves exactly two destinations
+	next  int
+	gen   uint64
+}
+
+type epCache struct {
+	to ids.ProcID
+	ep *tcpEndpoint
+	ok bool
+}
+
+func newRouteState() *routeState { return &routeState{seqs: make(map[chanKey]*uint64)} }
+
+func (rs *routeState) seqPtr(k chanKey) *uint64 {
+	if rs.lastP != nil && k == rs.lastK {
+		return rs.lastP
+	}
+	p := rs.seqs[k]
+	if p == nil {
+		p = new(uint64)
+		rs.seqs[k] = p
+	}
+	rs.lastK, rs.lastP = k, p
+	return p
+}
+
+// endpoint resolves to's local endpoint through a generation-checked
+// cache: any Register/Unregister bumps t.localsGen, invalidating every
+// cached entry at once, so a cached hit can never outlive the
+// registration it saw.
+func (rs *routeState) endpoint(t *TCP, to ids.ProcID) *tcpEndpoint {
+	if t.localsGen.Load() == rs.gen {
+		for i := range rs.eps {
+			if rs.eps[i].ok && rs.eps[i].to == to {
+				return rs.eps[i].ep
+			}
+		}
+	}
+	t.mu.RLock()
+	ep := t.locals[to]
+	gen := t.localsGen.Load() // re-read under the lock: stable vs writers
+	t.mu.RUnlock()
+	if gen != rs.gen {
+		rs.eps, rs.next, rs.gen = [2]epCache{}, 0, gen
+	}
+	rs.eps[rs.next] = epCache{to: to, ep: ep, ok: true}
+	rs.next = (rs.next + 1) % len(rs.eps)
+	return ep
 }
 
 // route hands one inbound frame to the local process it addresses. A
@@ -322,7 +606,7 @@ func (t *TCP) readConn(c net.Conn, ep *tcpEndpoint, m *pairMux) {
 // retried on the replacement connection can duplicate or reorder against
 // the dying stream's tail), exactly as the one-socket-per-channel design
 // behaved on redial.
-func (t *TCP) route(f Frame, lastSeq map[chanKey]uint64) {
+func (t *TCP) route(f Frame, rs *routeState) {
 	from, err := ids.Parse(f.From)
 	if err != nil {
 		return
@@ -331,18 +615,16 @@ func (t *TCP) route(f Frame, lastSeq map[chanKey]uint64) {
 	if err != nil {
 		return
 	}
-	t.mu.RLock()
-	ep := t.locals[to]
-	t.mu.RUnlock()
+	ep := rs.endpoint(t, to)
 	if ep == nil {
 		return
 	}
 	if f.Seq != 0 {
-		k := chanKey{from, to}
-		if f.Seq <= lastSeq[k] {
+		p := rs.seqPtr(chanKey{from, to})
+		if f.Seq <= *p {
 			return // stale or replayed within the stream: never reorder
 		}
-		lastSeq[k] = f.Seq
+		*p = f.Seq
 	}
 	ep.h(from, Message{MsgID: f.MsgID, Payload: f.Body})
 }
@@ -422,6 +704,8 @@ type pairMux struct {
 
 	mu       sync.Mutex
 	queues   map[chanKey]*muxQueue
+	lastK    chanKey   // cache of the queue the previous enqueue used:
+	lastQ    *muxQueue // a mux serves 2 channels, so the hit rate is high
 	rr       []chanKey // round-robin scan order over queues
 	rrNext   int
 	pending  int
@@ -462,33 +746,37 @@ func (m *pairMux) wakeLocked() {
 	}
 }
 
-// enqueue appends one message to its channel's FIFO queue. Beacons
-// coalesce per kind: a channel never holds more than one undelivered
-// beacon of a given type, because a second one would carry no extra
-// liveness information.
-func (m *pairMux) enqueue(k chanKey, msg Message) {
+// enqueue appends one message to its channel's FIFO queue, reporting
+// false if the mux has been stopped (the caller owns that accounting).
+// Beacons coalesce per kind: a channel never holds more than one
+// undelivered beacon of a given type, because a second one would carry
+// no extra liveness information.
+func (m *pairMux) enqueue(k chanKey, msg Message) bool {
 	c := binCodecFor(msg.Payload)
 	beacon := c != nil && c.beacon && msg.MsgID == 0
 	m.mu.Lock()
 	if m.stopped {
 		m.mu.Unlock()
-		m.t.stats.closed.Add(1)
-		return
+		return false
 	}
-	q := m.queues[k]
-	if q == nil {
-		q = &muxQueue{}
-		m.queues[k] = q
-		m.rr = append(m.rr, k)
+	q := m.lastQ
+	if q == nil || k != m.lastK {
+		q = m.queues[k]
+		if q == nil {
+			q = &muxQueue{}
+			m.queues[k] = q
+			m.rr = append(m.rr, k)
+		}
+		m.lastK, m.lastQ = k, q
 	}
 	if beacon && q.beacons[c.kind] > 0 {
 		m.mu.Unlock()
-		return // coalesced into the same-kind beacon already queued
+		return true // coalesced into the same-kind beacon already queued
 	}
 	if len(q.frames)-q.head >= tcpQueueDepth {
 		m.mu.Unlock()
 		m.t.stats.queueSaturated.Add(1)
-		return
+		return true
 	}
 	f := Frame{From: k.from.String(), To: k.to.String(), MsgID: msg.MsgID, Body: msg.Payload}
 	mf := muxFrame{f: f, beacon: beacon}
@@ -504,15 +792,24 @@ func (m *pairMux) enqueue(k chanKey, msg Message) {
 	}
 	q.frames = append(q.frames, mf)
 	m.pending++
+	depth := len(q.frames) - q.head
 	m.mu.Unlock()
+	m.t.stats.queueDepth(int64(depth))
 	m.wakeLocked()
+	return true
 }
 
-// next pops the next frame to write, scanning channels round-robin from
-// just past the last one served.
-func (m *pairMux) next() (muxFrame, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// Batch limits for the pair writer. A batch becomes one vectored write;
+// the byte cap chunks a burst of large frames so the encode arena stays
+// bounded no matter what rides the stream.
+const (
+	batchMaxFrames = 1024
+	batchMaxBytes  = 256 << 10
+)
+
+// popLocked pops the next frame to write, scanning channels round-robin
+// from just past the last one served; m.mu must be held.
+func (m *pairMux) popLocked() (muxFrame, bool) {
 	if m.pending == 0 {
 		return muxFrame{}, false
 	}
@@ -539,38 +836,33 @@ func (m *pairMux) next() (muxFrame, bool) {
 	return muxFrame{}, false
 }
 
-// run is the pair's writer goroutine: it drains the channel queues over a
-// buffered stream, flushing whenever the queues empty, dialing lazily and
-// retrying each frame once on a fresh connection.
+// nextBatch drains every ready channel queue round-robin into dst under
+// ONE lock acquisition, up to the batch frame cap — under backlog the
+// per-frame synchronization cost amortizes across the whole batch.
+func (m *pairMux) nextBatch(dst []muxFrame) []muxFrame {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(dst) < batchMaxFrames {
+		mf, ok := m.popLocked()
+		if !ok {
+			break
+		}
+		dst = append(dst, mf)
+	}
+	return dst
+}
+
+// run is the pair's writer goroutine: it pops a batch of ready frames,
+// encodes them back-to-back into a reusable arena, and hands the result
+// to the kernel as one vectored write — syscalls and queue locks cost
+// per batch, not per frame.
 func (m *pairMux) run() {
 	defer m.t.wg.Done()
-	var (
-		cur       net.Conn
-		bw        *bufio.Writer
-		unflushed int64                // frames written into bw since its last successful flush
-		beacons   map[beaconKey][]byte // cached beacon encodings per channel and kind
-	)
-	// lose counts the frames sitting in a dying buffer: like bytes in a
-	// dead peer's kernel buffer they are gone, but unlike those they are
-	// observable here, so they land in WriteFailed.
-	lose := func() {
-		m.t.stats.writeFailed.Add(unflushed)
-		unflushed = 0
-	}
-	flush := func() {
-		if bw != nil && bw.Buffered() > 0 {
-			if err := bw.Flush(); err != nil {
-				lose()
-				m.dropConn(cur)
-				cur, bw = nil, nil
-			}
-		}
-		unflushed = 0
-	}
+	w := muxWriter{m: m}
+	var batch []muxFrame
 	for {
-		mf, ok := m.next()
-		if !ok {
-			flush()
+		batch = m.nextBatch(batch[:0])
+		if len(batch) == 0 {
 			select {
 			case <-m.quit:
 				return
@@ -578,42 +870,104 @@ func (m *pairMux) run() {
 				continue
 			}
 		}
-		reason := dropWriteFailed
-		for attempt := 0; attempt < 2; attempt++ {
-			c, why := m.ensureConn()
-			if c == nil {
-				reason = why
-				if bw != nil {
-					lose()
-				}
-				cur, bw = nil, nil
-				break
-			}
-			if c != cur {
-				if bw != nil {
-					lose() // an adopted conn replaced cur mid-stream: its buffer died with it
-				}
-				cur, bw = c, bufio.NewWriterSize(c, 32<<10)
-			}
-			var err error
-			if mf.beacon {
-				err = writeCachedBeacon(bw, &beacons, mf.beaconKind, mf.f)
-			} else {
-				err = WriteFrame(bw, mf.f)
-			}
-			if err == nil {
-				unflushed++
-				reason = dropNone
-				break
-			}
-			lose()
-			m.dropConn(c)
-			cur, bw = nil, nil
+		w.writeBatch(batch)
+	}
+}
+
+// muxWriter owns one writer goroutine's scratch state: the encode arena,
+// the vectored-write buffer list, and the per-channel beacon cache.
+type muxWriter struct {
+	m       *pairMux
+	arena   []byte
+	bufs    net.Buffers
+	vec     net.Buffers // scratch header consumed by WriteTo
+	beacons map[beaconKey][]byte
+}
+
+// writeBatch encodes the batch into the arena and writes it out in
+// chunks of at most batchMaxBytes, each chunk one vectored write. A
+// failed chunk retries once in full on a fresh connection — duplicating
+// across the boundary is permitted datagram semantics, and sequenced
+// frames deduplicate at the reader's mux sequence check. Once a chunk
+// is lost the rest of the batch is dropped too: the link is down and
+// redialing per chunk would only stall the queues further.
+func (w *muxWriter) writeBatch(batch []muxFrame) {
+	a := w.arena[:0]
+	chunk := 0 // frames encoded into a and not yet written
+	for i := range batch {
+		mf := &batch[i]
+		var err error
+		if mf.beacon {
+			a, err = w.appendBeacon(a, mf)
+		} else {
+			a, err = appendPrefixed(a, mf.f)
 		}
-		if reason != dropNone {
-			m.t.stats.drop(reason)
+		if err != nil {
+			w.m.t.stats.drop(dropWriteFailed) // unencodable frame: skip it, keep the batch
+			continue
+		}
+		chunk++
+		if len(a) >= batchMaxBytes {
+			if ok, why := w.flush(a, chunk); !ok {
+				w.m.t.stats.dropN(why, int64(len(batch)-i-1))
+				w.reclaim(a)
+				return
+			}
+			a, chunk = a[:0], 0
 		}
 	}
+	w.flush(a, chunk) // the batch ends here: nothing left to count on failure
+	w.reclaim(a)
+}
+
+// flush writes a as one vectored write, accounting the chunk's frames as
+// drops if the link cannot be (re-)established or the rewrite fails too.
+func (w *muxWriter) flush(a []byte, frames int) (bool, dropReason) {
+	if frames == 0 {
+		return true, dropNone
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		c, why := w.m.ensureConn()
+		if c == nil {
+			w.m.t.stats.dropN(why, int64(frames))
+			return false, why
+		}
+		// WriteTo consumes the Buffers header it is given, so hand it a
+		// scratch copy of the header (a field, not a local: a local would
+		// escape per call); w.bufs keeps its capacity across batches.
+		w.bufs = append(w.bufs[:0], a)
+		w.vec = w.bufs
+		if _, err := w.vec.WriteTo(c); err == nil {
+			return true, dropNone
+		}
+		w.m.dropConn(c)
+	}
+	w.m.t.stats.dropN(dropWriteFailed, int64(frames))
+	return false, dropWriteFailed
+}
+
+// reclaim keeps the arena for the next batch unless a burst of large
+// frames ballooned it past any steady-state need.
+func (w *muxWriter) reclaim(a []byte) {
+	if cap(a) > batchMaxBytes+maxFrame {
+		a = nil
+	}
+	w.arena = a[:0:cap(a)]
+}
+
+// appendPrefixed appends f's length-prefixed wire encoding to a.
+func appendPrefixed(a []byte, f Frame) ([]byte, error) {
+	start := len(a)
+	b, err := AppendFrame(append(a, 0, 0, 0, 0), f)
+	if err != nil {
+		return a[:start], err
+	}
+	body := len(b) - start - 4
+	if body > maxFrame {
+		return b[:start], fmt.Errorf("transport: frame of %d bytes exceeds limit", body)
+	}
+	binary.BigEndian.PutUint32(b[start:start+4], uint32(body))
+	return b, nil
 }
 
 // beaconKey names one beacon type's traffic on one directed channel.
@@ -622,35 +976,31 @@ type beaconKey struct {
 	kind byte
 }
 
-// writeCachedBeacon writes a beacon frame from a per-(channel, kind)
-// cache of its encoded bytes: a given beacon type is identical every
-// time (no MsgID, no mux sequence), so the steady-state heartbeat path
-// allocates nothing.
-func writeCachedBeacon(w *bufio.Writer, cache *map[beaconKey][]byte, kind byte, f Frame) error {
-	from, err := ids.Parse(f.From)
+// appendBeacon appends a beacon frame's bytes from a per-(channel, kind)
+// cache: a given beacon type is identical every time (no MsgID, no mux
+// sequence), so the steady-state heartbeat path allocates nothing.
+func (w *muxWriter) appendBeacon(a []byte, mf *muxFrame) ([]byte, error) {
+	from, err := ids.Parse(mf.f.From)
 	if err != nil {
-		return err
+		return a, err
 	}
-	to, err := ids.Parse(f.To)
+	to, err := ids.Parse(mf.f.To)
 	if err != nil {
-		return err
+		return a, err
 	}
-	k := beaconKey{ch: chanKey{from, to}, kind: kind}
-	if *cache == nil {
-		*cache = make(map[beaconKey][]byte, 2)
+	k := beaconKey{ch: chanKey{from, to}, kind: mf.beaconKind}
+	if w.beacons == nil {
+		w.beacons = make(map[beaconKey][]byte, 2)
 	}
-	b, ok := (*cache)[k]
+	b, ok := w.beacons[k]
 	if !ok {
-		body, err := AppendFrame(make([]byte, 4), f) // 4-byte prefix + body, one Write
+		b, err = appendPrefixed(nil, mf.f)
 		if err != nil {
-			return err
+			return a, err
 		}
-		binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
-		b = body
-		(*cache)[k] = b
+		w.beacons[k] = b
 	}
-	_, err = w.Write(b)
-	return err
+	return append(a, b...), nil
 }
 
 // ensureConn returns the pair's connection, dialing (and introducing the
@@ -729,6 +1079,7 @@ func (m *pairMux) stop() {
 	c := m.conn
 	m.conn = nil
 	m.queues = make(map[chanKey]*muxQueue)
+	m.lastQ = nil
 	m.rr, m.pending = nil, 0
 	m.mu.Unlock()
 	if c != nil {

@@ -74,6 +74,16 @@ type Stats struct {
 	// wrapper (loss, burst windows, partitions) — injected faults, never
 	// congestion or dead hosts.
 	ChaosInjected int64
+	// Truncated counts datagrams dropped at a size boundary: a send whose
+	// encoding exceeds the datagram plane's maximum, or a receive the
+	// kernel cut short. Stream transports never truncate (they reject
+	// oversize frames as WriteFailed before any bytes move).
+	Truncated int64
+	// DecodeFailed counts inbound frames discarded because their bytes did
+	// not parse — corruption, version skew, or garbage aimed at the port.
+	// The sender is unknown by definition, so these cannot be attributed
+	// to a channel.
+	DecodeFailed int64
 	// ConnsOpen is a gauge, not a counter: the number of connections
 	// currently established (TCP: one per peer pair with an active
 	// multiplexed link; always 0 on connectionless transports). Because
@@ -81,12 +91,43 @@ type Stats struct {
 	// frame actually needed it — this measures the monitoring topology's
 	// real footprint: a full mesh settles at n(n−1)/2, ring-k at ~n·k.
 	ConnsOpen int64
+	// SendQueueNow is a gauge: frames currently sitting in stream-plane
+	// send queues across every channel. Zero on datagram transports,
+	// which never queue.
+	SendQueueNow int64
+	// SendQueueMax is a high-water mark: the deepest any single channel's
+	// send queue has been since the transport started. Together with
+	// SendQueueNow it makes stream-plane backpressure observable before
+	// it matures into QueueSaturated drops.
+	SendQueueMax int64
 }
 
-// Dropped sums every drop reason. ConnsOpen is a gauge, not a drop, and
-// is excluded.
+// Dropped sums every drop reason. The gauges (ConnsOpen, SendQueueNow,
+// SendQueueMax) are state, not drops, and are excluded.
 func (s Stats) Dropped() int64 {
-	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed + s.Closed + s.ChaosInjected
+	return s.QueueSaturated + s.UnknownPeer + s.DialFailed + s.WriteFailed +
+		s.Closed + s.ChaosInjected + s.Truncated + s.DecodeFailed
+}
+
+// merge sums o's counters into s and returns the result, for transports
+// composed of several planes. Counters add; ConnsOpen and SendQueueNow
+// are additive gauges; SendQueueMax is a per-channel high-water mark, so
+// the merged value is the larger of the two.
+func (s Stats) merge(o Stats) Stats {
+	s.QueueSaturated += o.QueueSaturated
+	s.UnknownPeer += o.UnknownPeer
+	s.DialFailed += o.DialFailed
+	s.WriteFailed += o.WriteFailed
+	s.Closed += o.Closed
+	s.ChaosInjected += o.ChaosInjected
+	s.Truncated += o.Truncated
+	s.DecodeFailed += o.DecodeFailed
+	s.ConnsOpen += o.ConnsOpen
+	s.SendQueueNow += o.SendQueueNow
+	if o.SendQueueMax > s.SendQueueMax {
+		s.SendQueueMax = o.SendQueueMax
+	}
+	return s
 }
 
 // dropReason indexes statCounters; dropNone marks a delivered frame.
@@ -99,26 +140,51 @@ const (
 	dropDialFailed
 	dropWriteFailed
 	dropClosed
+	dropTruncated
+	dropDecodeFailed
 )
 
 // statCounters is the shared atomic implementation behind every
-// transport's Stats.
+// transport's Stats. sendQueueMax is the high-water mark satellite
+// gauge; stream transports raise it via queueDepth on every enqueue.
 type statCounters struct {
 	queueSaturated, unknownPeer, dialFailed, writeFailed, closed atomic.Int64
+	truncated, decodeFailed                                      atomic.Int64
+	sendQueueMax                                                 atomic.Int64
 }
 
-func (c *statCounters) drop(r dropReason) {
+func (c *statCounters) drop(r dropReason) { c.dropN(r, 1) }
+
+func (c *statCounters) dropN(r dropReason, n int64) {
+	if n <= 0 {
+		return
+	}
 	switch r {
 	case dropQueueSaturated:
-		c.queueSaturated.Add(1)
+		c.queueSaturated.Add(n)
 	case dropUnknownPeer:
-		c.unknownPeer.Add(1)
+		c.unknownPeer.Add(n)
 	case dropDialFailed:
-		c.dialFailed.Add(1)
+		c.dialFailed.Add(n)
 	case dropWriteFailed:
-		c.writeFailed.Add(1)
+		c.writeFailed.Add(n)
 	case dropClosed:
-		c.closed.Add(1)
+		c.closed.Add(n)
+	case dropTruncated:
+		c.truncated.Add(n)
+	case dropDecodeFailed:
+		c.decodeFailed.Add(n)
+	}
+}
+
+// queueDepth records a channel queue's depth after an enqueue, raising
+// the high-water mark if this is the deepest any queue has been.
+func (c *statCounters) queueDepth(depth int64) {
+	for {
+		cur := c.sendQueueMax.Load()
+		if depth <= cur || c.sendQueueMax.CompareAndSwap(cur, depth) {
+			return
+		}
 	}
 }
 
@@ -129,5 +195,8 @@ func (c *statCounters) snapshot() Stats {
 		DialFailed:     c.dialFailed.Load(),
 		WriteFailed:    c.writeFailed.Load(),
 		Closed:         c.closed.Load(),
+		Truncated:      c.truncated.Load(),
+		DecodeFailed:   c.decodeFailed.Load(),
+		SendQueueMax:   c.sendQueueMax.Load(),
 	}
 }

@@ -475,6 +475,52 @@ func TestLossyStatsCountUnknownPeer(t *testing.T) {
 	waitFor(t, 10*time.Second, func() bool { return tr.Stats().UnknownPeer >= 1 }, "unknown-peer drop")
 }
 
+// TestTCPShardedReaderFIFO forces the multi-core decode fan-out (inert
+// on a single-core box, where NewTCP skips the pool) and re-proves the
+// §2.1 per-channel FIFO across it, on both codec paths: gob frames
+// decode inline but ride their channel's shard queue, binary frames are
+// hashed to a shard pre-decode. One channel must always map to one
+// shard or ordering dies.
+func TestTCPShardedReaderFIFO(t *testing.T) {
+	oldShards := tcpReadShards
+	tcpReadShards = 4
+	defer func() { tcpReadShards = oldShards }()
+	tr := NewTCP()
+	defer tr.Close()
+	if len(tr.shards) != 4 {
+		t.Fatalf("shard pool size %d, want 4", len(tr.shards))
+	}
+	checkFIFO(t, tr, 500, 10*time.Second) // gob-payload arm
+
+	// Binary-payload arm: core.OK frames carry mux sequences through the
+	// pre-decode hash path.
+	a, b := ids.Named("x"), ids.Named("y")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Send(a, b, Message{MsgID: int64(i + 1), Payload: core.OK{Ver: member.Version(i)}})
+	}
+	waitFor(t, 10*time.Second, func() bool { return s.len() >= n }, "binary frames")
+	if s.len() != n {
+		t.Fatalf("delivered %d binary frames, want exactly %d", s.len(), n)
+	}
+	for i := 0; i < n; i++ {
+		m := s.msg(i)
+		if m.MsgID != int64(i+1) {
+			t.Fatalf("position %d: got MsgID %d — FIFO violated across shards", i, m.MsgID)
+		}
+		if ok, is := m.Payload.(core.OK); !is || ok.Ver != member.Version(i) {
+			t.Fatalf("position %d: payload %#v", i, m.Payload)
+		}
+	}
+}
+
 // TestSendCloseRace hammers Send from several goroutines while Close runs
 // concurrently, on all three transports. The close path must be
 // race-clean (this test exists for -race) and must never panic or wedge a
@@ -490,6 +536,8 @@ func TestSendCloseRace(t *testing.T) {
 		{"chaos", func() Transport {
 			return NewChaos(NewInmem(), ChaosOptions{Default: ChaosLink{Jitter: time.Millisecond, Loss: 0.1}})
 		}},
+		{"udp", func() Transport { return NewUDP() }},
+		{"twoplane", func() Transport { return NewTwoPlane(NewTCP(), NewUDP()) }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			tr := tc.make()

@@ -49,6 +49,16 @@ type (
 	TransportStats = transport.Stats
 	// TCPTransport runs the group's channels over real TCP sockets.
 	TCPTransport = transport.TCP
+	// UDPTransport is the connectionless datagram plane: one socket per
+	// process, one datagram per frame, no queues. Built by
+	// NewUDPTransport; usually composed under a TwoPlaneTransport as
+	// the beacon plane rather than used alone.
+	UDPTransport = transport.UDP
+	// TwoPlaneTransport splits a group's traffic by class: beacons ride
+	// a dedicated datagram plane, protocol messages the stream plane.
+	// Built by NewUDPBeaconTransport (or NewTwoPlaneTransport for
+	// custom plane pairings).
+	TwoPlaneTransport = transport.TwoPlane
 	// LossyTransportOptions shapes the adversarial datagram link of
 	// NewLossyTransport.
 	LossyTransportOptions = transport.LossyOptions
@@ -87,6 +97,36 @@ func NewInmemTransport() Transport { return transport.NewInmem() }
 // at ~n·k (TransportStats().ConnsOpen measures it). Use the returned
 // value's AddPeer/Addr to span OS processes or hosts.
 func NewTCPTransport() *TCPTransport { return transport.NewTCP() }
+
+// NewUDPTransport builds the bare datagram plane on loopback: sends are
+// fire-and-forget datagrams with no connections and no backpressure.
+// It satisfies the Transport contract but deliberately provides only
+// best-effort ordering, so it suits order-free traffic (beacons) —
+// compose it under NewUDPBeaconTransport for a full group substrate.
+func NewUDPTransport() *UDPTransport { return transport.NewUDP() }
+
+// NewUDPBeaconTransport composes stream with a fresh loopback UDP
+// datagram plane into a two-plane substrate: heartbeats bypass the
+// stream plane's queues and connections entirely, so a neighbor
+// saturating its link cannot delay — and thereby distort — the timing
+// evidence the failure detector runs on. When stream is nil a loopback
+// TCP transport is used. The live runtime detects the split and emits
+// beacons cadence-pure (every interval, no piggyback suppression),
+// giving adaptive detectors the cleanest possible inter-arrival
+// samples.
+func NewUDPBeaconTransport(stream Transport) *TwoPlaneTransport {
+	if stream == nil {
+		stream = transport.NewTCP()
+	}
+	return transport.NewTwoPlane(stream, transport.NewUDP())
+}
+
+// NewTwoPlaneTransport composes an explicit stream plane and beacon
+// plane — e.g. to wrap either plane in NewChaosTransport and degrade
+// one traffic class without the other.
+func NewTwoPlaneTransport(stream, beacon Transport) *TwoPlaneTransport {
+	return transport.NewTwoPlane(stream, beacon)
+}
 
 // NewLossyTransport builds a transport whose links lose, duplicate and
 // delay datagrams, repaired per channel by the alternating-bit protocol —
