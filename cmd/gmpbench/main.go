@@ -26,11 +26,18 @@ import (
 )
 
 func main() {
+	// `gmpbench member` is the E19 scale harness's per-member process:
+	// this same binary, re-executed once per group member.
+	if len(os.Args) > 1 && os.Args[1] == "member" {
+		os.Exit(runMember(os.Args[2:]))
+	}
+	forceMultiProc()
 	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, saturation, fd, scale")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
 	fdFlags()
 	scaleFlags()
+	mprocFlags()
 	satFlags()
 	flag.Parse()
 

@@ -69,6 +69,17 @@ type scaleArm struct {
 	N         int    `json:"n"`
 	Topology  string `json:"topology"`
 	Transport string `json:"transport"`
+	// Mode distinguishes the harness: "" is the in-process runtime (n
+	// goroutine nodes, one Go scheduler), "mproc" is one OS process per
+	// member over real sockets (E19).
+	Mode string `json:"mode,omitempty"`
+	// Digests records the dissemination arm: "auto" (beacon-borne
+	// digests) or "off" (relay flood). Empty on pre-digest arms.
+	Digests string `json:"digests,omitempty"`
+	// SuspicionFrames counts the wire frames spent disseminating the
+	// run's one exclusion (transport.Stats.SuspicionFrames summed over
+	// the group) — the digest-vs-relay comparison's metric.
+	SuspicionFrames int64 `json:"suspicion_frames,omitempty"`
 
 	BeaconsPerSec float64 `json:"beacons_per_sec"`
 	// ConnsOpen is the transport's established-connection gauge sampled
@@ -89,21 +100,40 @@ type scaleRatio struct {
 	ConnRatio   float64 `json:"conn_ratio_full_over_ring,omitempty"`
 }
 
+// digestRatio is the per-n digest-vs-relay suspicion-frame comparison,
+// measured on otherwise identical multi-process arms.
+type digestRatio struct {
+	N            int     `json:"n"`
+	Topology     string  `json:"topology"`
+	RelayFrames  int64   `json:"relay_frames"`
+	DigestFrames int64   `json:"digest_frames"`
+	Ratio        float64 `json:"relay_over_digest"`
+}
+
 // scaleReport is the BENCH_scale.json schema.
 type scaleReport struct {
-	GeneratedBy    string       `json:"generated_by"`
-	Env            benchEnv     `json:"env"`
-	HeartbeatMs    float64      `json:"heartbeat_ms"`
-	SuspectAfterMs float64      `json:"suspect_after_ms"`
-	WindowMs       float64      `json:"window_ms"`
-	RingK          int          `json:"ring_k"`
-	Arms           []scaleArm   `json:"arms"`
-	Ratios         []scaleRatio `json:"ratios"`
+	GeneratedBy    string   `json:"generated_by"`
+	Env            benchEnv `json:"env"`
+	HeartbeatMs    float64  `json:"heartbeat_ms"`
+	SuspectAfterMs float64  `json:"suspect_after_ms"`
+	WindowMs       float64  `json:"window_ms"`
+	RingK          int      `json:"ring_k"`
+	// MprocHeartbeatMs/MprocSuspectAfterMs are the (slower) cadence of
+	// the multi-process arms, sized so hundreds of OS processes on a
+	// small host keep zero false suspicions.
+	MprocHeartbeatMs    float64       `json:"mproc_heartbeat_ms,omitempty"`
+	MprocSuspectAfterMs float64       `json:"mproc_suspect_after_ms,omitempty"`
+	Arms                []scaleArm    `json:"arms"`
+	Ratios              []scaleRatio  `json:"ratios"`
+	DigestRatios        []digestRatio `json:"digest_ratios,omitempty"`
 }
 
 func scaleSizes() []int {
 	var ns []int
 	for _, f := range strings.Split(scaleNs, ",") {
+		if strings.TrimSpace(f) == "" {
+			continue // -scale-ns "" runs only the multi-process arms
+		}
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n < 3 {
 			fmt.Fprintf(os.Stderr, "scale: ignoring group size %q\n", f)
@@ -261,6 +291,12 @@ func scalePerf(int64) {
 	fmt.Println("note: F1 only needs every faulty process eventually suspected by SOME live member;")
 	fmt.Println("      ring-k supplies that with O(n·k) beacons and sockets, and the suspicion-relay")
 	fmt.Println("      path carries a monitor's faulty_p(q) to the coordinator it doesn't monitor.")
+
+	if len(mprocSizes()) > 0 {
+		rep.MprocHeartbeatMs = float64(mprocHB) / float64(time.Millisecond)
+		rep.MprocSuspectAfterMs = float64(mprocSA) / float64(time.Millisecond)
+		mprocPerf(&rep)
+	}
 
 	if scaleOut != "" {
 		blob, err := json.MarshalIndent(rep, "", "  ")

@@ -17,8 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 	"time"
 
 	"procgroup"
@@ -87,7 +85,7 @@ func main() {
 	list := flag.Bool("list", false, "list scenarios")
 	liveRun := flag.Bool("live", false, "run the churn scenario on the live goroutine runtime instead of the simulator")
 	transportName := flag.String("transport", "inmem", "live transport: inmem, tcp (loopback sockets), lossy (ABP over a lossy link), or twoplane (beacons on UDP, protocol on TCP)")
-	topologyName := flag.String("topology", "full", "live monitoring topology: full (all-to-all) or ring:k (each member watches its k rank-successors), e.g. ring:3")
+	topologyName := flag.String("topology", "full", "live monitoring topology: full (all-to-all), ring:k (each member watches its k rank-successors), or hier:c:k (clusters of c in intra-cluster ring-k, stitched by a leader ring), e.g. ring:3 or hier:8:2")
 	flag.Parse()
 
 	topo, err := parseTopology(*topologyName)
@@ -158,23 +156,10 @@ func main() {
 	}
 }
 
-// parseTopology resolves the -topology flag: "full", "ring" (default k),
-// or "ring:k".
+// parseTopology resolves the -topology flag through the shared spec
+// vocabulary: "full", "ring[:k]", or "hier[:c[:k]]".
 func parseTopology(s string) (procgroup.Topology, error) {
-	switch {
-	case s == "" || s == "full":
-		return procgroup.NewFullTopology(), nil
-	case s == "ring":
-		return procgroup.NewRingTopology(0), nil
-	case strings.HasPrefix(s, "ring:"):
-		k, err := strconv.Atoi(strings.TrimPrefix(s, "ring:"))
-		if err != nil || k < 1 {
-			return nil, fmt.Errorf("bad -topology %q: want ring:k with k ≥ 1", s)
-		}
-		return procgroup.NewRingTopology(k), nil
-	default:
-		return nil, fmt.Errorf("unknown -topology %q; want full, ring, or ring:k", s)
-	}
+	return procgroup.ParseTopology(s)
 }
 
 // runLive boots the real goroutine runtime over the named transport and

@@ -64,6 +64,33 @@ type SuspicionRelayer interface {
 	RelayPeers(unsuspected []ids.ProcID) []ids.ProcID
 }
 
+// SuspicionGossiper is an optional Env extension that supersedes the
+// point-to-point relay flood with batched suspicion digests. Where the
+// SuspicionRelayer turns each fresh suspicion into one FaultyReport per
+// topology peer (O(deg) extra frames per suspicion per hop), a gossiping
+// environment batches every pending suspicion into a compact digest that
+// piggybacks on the beacons it already sends — disseminating f suspicions
+// costs digest *entries* on frames that were crossing the wire anyway.
+//
+// When GossipActive reports true, the node hands each point-to-point-
+// learned suspicion (its own detector's, a FaultyReport's, a surmise) to
+// GossipSuspicion instead of the relay set, and suspicions learned *from*
+// a digest (Node.GossipSuspectWithLevel) are treated like broadcast gossip
+// — adopted and re-gossiped, but not re-reported to the coordinator,
+// because the digest flood reaches the coordinator too. The environment
+// may report GossipActive false at any time (no beacon plane, all-to-all
+// monitoring); the node then falls back to the relay unchanged, so the
+// §7.2 message-count pins stand wherever digests are off.
+type SuspicionGossiper interface {
+	// GossipActive reports whether digest dissemination currently
+	// applies. Consulted per suspicion, so an environment may flip modes
+	// between views.
+	GossipActive() bool
+	// GossipSuspicion hands a point-to-point-learned suspicion to the
+	// environment for batching into its next outgoing digests.
+	GossipSuspicion(q ids.ProcID, level float64)
+}
+
 // Config tunes which variant of the algorithm a node runs.
 type Config struct {
 	// Compression enables §3.1's condensed rounds: a commit carrying a

@@ -178,7 +178,7 @@ func (n *Node) sendStateTransfer(joiner ids.ProcID, next member.Op, nextVer memb
 // monitor the suspect themselves.
 func (n *Node) handleFaultyReport(from ids.ProcID, m FaultyReport) {
 	if n.applyFaulty(m.Suspect) {
-		n.relayable.Add(m.Suspect)
+		n.disseminate(m.Suspect, 0)
 		n.reportSuspicions()
 	}
 	n.step()

@@ -234,12 +234,42 @@ func (n *Node) SuspectWithLevel(q ids.ProcID, level float64) {
 	}
 	// A detector-sourced suspicion is point-to-point knowledge: under a
 	// partial topology nobody else may have observed it, so it must be
-	// relayed (reportSuspicions does both).
-	n.relayable.Add(q)
+	// disseminated (reportSuspicions relays; a gossiping environment
+	// batches it into digests instead).
+	n.disseminate(q, level)
 	// GMP-5: ask the coordinator to start the removal algorithm — unless
 	// the coordinator itself is the suspect (reconfiguration handles it).
 	n.reportSuspicions()
 	n.step()
+}
+
+// GossipSuspectWithLevel is the entry point for a suspicion learned from
+// a batched digest (SuspicionGossiper environments). It adopts the belief
+// like F2 broadcast gossip — no FaultyReport to the coordinator, because
+// the digest flood that delivered it here is reaching the coordinator by
+// the same mechanism — and re-disseminates so the flood hops onward
+// through the monitoring topology.
+func (n *Node) GossipSuspectWithLevel(q ids.ProcID, level float64) {
+	if !n.alive || n.view == nil || q == n.id {
+		return
+	}
+	if !n.applyFaultyLevel(q, level) {
+		return
+	}
+	n.reported.Add(q)
+	n.disseminate(q, level)
+	n.step()
+}
+
+// disseminate spreads one point-to-point-learned suspicion: into the
+// environment's digest batch when digest gossip is active, else into the
+// relay set that reportSuspicions floods peer by peer.
+func (n *Node) disseminate(q ids.ProcID, level float64) {
+	if g, ok := n.env.(SuspicionGossiper); ok && g.GossipActive() {
+		g.GossipSuspicion(q, level)
+		return
+	}
+	n.relayable.Add(q)
 }
 
 // applyFaulty records faulty_p(q) with no detector grade behind it (F2
@@ -295,6 +325,24 @@ func (n *Node) applyOperating(q ids.ProcID) {
 func (n *Node) reportSuspicions() {
 	n.relaySuspicions()
 	if n.mgr == n.id || n.isolated.Has(n.mgr) {
+		// Digest dissemination travels at beacon cadence along monitor
+		// edges, which is the wrong speed for the one latency-critical
+		// hop: the expected initiator learning the coordinator is dead.
+		// Keep that hop point-to-point — O(1) frames, and only from
+		// nodes that learned the suspicion first-hand (digest-learned
+		// beliefs arrive via GossipSuspectWithLevel, which marks them
+		// reported), so it stays O(monitors), not O(n).
+		if g, ok := n.env.(SuspicionGossiper); ok && g.GossipActive() {
+			if heir := n.expectedInitiator(); heir != n.id && !heir.IsNil() {
+				for _, q := range n.faulty.Sorted() {
+					if n.reported.Has(q) || !n.view.Has(q) {
+						continue
+					}
+					n.reported.Add(q)
+					n.env.Send(heir, FaultyReport{Suspect: q})
+				}
+			}
+		}
 		return
 	}
 	for _, q := range n.faulty.Sorted() {
@@ -479,6 +527,27 @@ func (n *Node) install(ops member.Seq) error {
 		}
 	}
 	if len(ops) > 0 {
+		// Re-intersect the relay dedup map with the installed view: the
+		// per-op removal above only covers the suspects themselves, while
+		// the per-suspect target sets keep ids of members removed by
+		// *other* operations — across many reconfigurations that is a
+		// slow, monotonic leak. Targets outside the view can never be
+		// relayed to again (relaySuspicions checks view membership), so
+		// dropping them is pure garbage collection.
+		for q, sent := range n.relayed {
+			if !n.view.Has(q) {
+				delete(n.relayed, q)
+				continue
+			}
+			for _, t := range sent.Sorted() {
+				if !n.view.Has(t) {
+					sent.Remove(t)
+				}
+			}
+			if sent.Len() == 0 {
+				delete(n.relayed, q)
+			}
+		}
 		n.env.RecordInstall(n.view.Version(), n.view.Members())
 	}
 	return nil
@@ -512,6 +581,19 @@ func (n *Node) step() {
 
 // isCoordinatorRole reports whether this node currently drives updates.
 func (n *Node) isCoordinatorRole() bool { return n.mgr == n.id }
+
+// expectedInitiator returns the most senior view member this node does
+// not believe faulty — the process that will (by rank) drive the next
+// reconfiguration, per Table 1's "the most senior operational process
+// initiates" reading. ids.Nil when every member is suspected.
+func (n *Node) expectedInitiator() ids.ProcID {
+	for _, m := range n.view.Members() {
+		if !n.isolated.Has(m) {
+			return m
+		}
+	}
+	return ids.Nil
+}
 
 // higherRankedUnsuspected returns the view members outranking us that we do
 // not (yet) believe faulty, most senior first.
@@ -632,7 +714,7 @@ func (n *Node) awaitFired(gen int) {
 	n.awaitArmed = false
 	for _, m := range n.unaccounted() {
 		if n.applyFaulty(m) {
-			n.relayable.Add(m)
+			n.disseminate(m, 0)
 		}
 	}
 	n.reportSuspicions()
@@ -677,8 +759,8 @@ func (n *Node) timerFired(gen int) {
 	}
 	if n.applyFaulty(candidates[0]) {
 		// A Table 1 surmise is local knowledge like a detector firing:
-		// relay it under a partial topology.
-		n.relayable.Add(candidates[0])
+		// disseminate it under a partial topology.
+		n.disseminate(candidates[0], 0)
 	}
 	n.reportSuspicions()
 	n.step()

@@ -27,6 +27,16 @@
 // since its evidence of their silence is indistinguishable from its own
 // absence.
 //
+// Under a partial topology with a beacon plane, point-to-point-learned
+// suspicions disseminate as SuspicionDigest batches riding the beacons
+// themselves (Options.Digests; DESIGN.md §10): a pending digest replaces
+// that interval's heartbeat on each beacon edge, per-edge sent-sets and
+// a per-view absorb dedup bound the flood to one crossing per monitoring
+// edge, and DigestOff (or a plane-less transport) falls back to the
+// point-to-point relay. Options.Self/Roster boot a single-member cluster
+// for multi-process deployments — one OS process per member, wired by
+// address exchange and bootstrapped by BootstrapSelf (E19's harness).
+//
 // Installed views are published on a bounded stream; overflow is counted
 // (Cluster.Dropped), never blocking the protocol. Transport-level drop
 // accounting is surfaced through Cluster.TransportStats.

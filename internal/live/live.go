@@ -78,7 +78,36 @@ type Options struct {
 	// When subscribers fall behind, installs are dropped and counted on
 	// Dropped rather than wedging the protocol.
 	UpdateBuffer int
+	// Digests selects suspicion-digest dissemination (see DigestMode).
+	Digests DigestMode
+	// Self, when set, puts the cluster in single-member mode for
+	// multi-process deployments: Start spawns exactly this process (N is
+	// ignored) and does NOT bootstrap it — the process first needs its
+	// peers' transport addresses wired up (AddPeer), then BootstrapSelf
+	// installs Roster. Each OS process hosts one such cluster; the group
+	// is the set of processes whose rosters agree.
+	Self ids.ProcID
+	// Roster is the commonly-known initial membership (GMP-0) that
+	// BootstrapSelf installs, in seniority order, Self included.
+	Roster []ids.ProcID
 }
+
+// DigestMode selects how point-to-point-learned suspicions disseminate
+// under a partial monitoring topology.
+type DigestMode int
+
+const (
+	// DigestAuto (the default) batches suspicions into SuspicionDigest
+	// beacons whenever the substrate has a dedicated beacon plane
+	// (transport.BeaconPlaner) and the topology is partial — the two
+	// conditions under which digests are strictly cheaper than the relay
+	// flood. Everywhere else (stream-only transports, full monitoring)
+	// the point-to-point relay runs unchanged.
+	DigestAuto DigestMode = iota
+	// DigestOff forces the point-to-point relay even where digests would
+	// apply — the A/B baseline the scale experiment compares against.
+	DigestOff
+)
 
 // ViewUpdate is one installed view, published to subscribers.
 type ViewUpdate struct {
@@ -99,6 +128,10 @@ type Cluster struct {
 	// queue behind protocol traffic, and every emission is one clean
 	// inter-arrival sample for the peer's detector.
 	planed bool
+	// digests records whether suspicion-digest dissemination may run
+	// (Options.Digests resolved against the transport); each node still
+	// gates on its own view's topology being partial (liveNode.gossip).
+	digests bool
 
 	dropped atomic.Int64 // installs lost to a full updates stream
 
@@ -143,9 +176,18 @@ type liveNode struct {
 	// suspicions relayed (core.SuspicionRelayer), because under full
 	// monitoring every process observes every failure itself.
 	relayPartial bool
-	det          fd.Detector              // failure-detection policy (F1 input)
-	lastSent     map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
-	lastBeat     time.Time                // previous liveness-wheel pass (stall guard)
+	// gossip is the digest-dissemination gate for the current view:
+	// Cluster.digests (beacon plane present, mode not DigestOff) AND the
+	// topology is partial here. Recomputed per install like the wheel.
+	// digestOut holds suspicions waiting to ride this node's beacons and
+	// digestSeen the suspects already absorbed or queued (echo dedup);
+	// both are loop-owned and pruned against each installed view.
+	gossip     bool
+	digestOut  map[ids.ProcID]*digestPending
+	digestSeen ids.Set
+	det        fd.Detector              // failure-detection policy (F1 input)
+	lastSent   map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
+	lastBeat   time.Time                // previous liveness-wheel pass (stall guard)
 }
 
 // wheelEntry is one member's role in a node's liveness wheel.
@@ -206,12 +248,23 @@ func Start(opts Options) *Cluster {
 		opts:      opts,
 		tr:        opts.Transport,
 		planed:    planed,
+		digests:   planed && opts.Digests != DigestOff,
 		nodes:     make(map[ids.ProcID]*liveNode, opts.N),
 		updates:   make(chan ViewUpdate, opts.UpdateBuffer),
 		installed: make(chan struct{}, 1),
 		start:     time.Now(),
 	}
 	c.rec = trace.NewRecorder(func() int64 { return int64(time.Since(c.start) / time.Microsecond) })
+
+	if !opts.Self.IsNil() {
+		// Single-member mode: one process of a multi-process group. The
+		// node idles unbootstrapped until the harness has exchanged
+		// transport addresses and calls BootstrapSelf.
+		c.mu.Lock()
+		c.spawnLocked(opts.Self, cfg)
+		c.mu.Unlock()
+		return c
+	}
 
 	procs := ids.Gen(opts.N)
 	c.mu.Lock()
@@ -225,6 +278,23 @@ func Start(opts Options) *Cluster {
 	}
 	c.mu.Unlock()
 	return c
+}
+
+// BootstrapSelf installs Options.Roster on the single member this cluster
+// hosts (Options.Self mode). Call it once, after every peer in the roster
+// is reachable on the transport — in a multi-process group that means
+// after the address exchange. A no-op in normal (multi-node) mode.
+func (c *Cluster) BootstrapSelf() {
+	roster := c.opts.Roster
+	if c.opts.Self.IsNil() || len(roster) == 0 {
+		return
+	}
+	c.mu.Lock()
+	ln := c.nodes[c.opts.Self]
+	c.mu.Unlock()
+	if ln != nil {
+		ln.box.put(envelope{fn: func() { ln.node.Bootstrap(roster) }})
+	}
 }
 
 // nodeConfig resolves the protocol configuration a node runs: the caller's
@@ -255,13 +325,15 @@ func nodeConfig(opts Options) core.Config {
 // no node.
 func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 	ln := &liveNode{
-		c:        c,
-		id:       p,
-		box:      newMailbox(),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		det:      c.opts.Detector(),
-		lastSent: make(map[ids.ProcID]time.Time),
+		c:          c,
+		id:         p,
+		box:        newMailbox(),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		det:        c.opts.Detector(),
+		lastSent:   make(map[ids.ProcID]time.Time),
+		digestOut:  make(map[ids.ProcID]*digestPending),
+		digestSeen: ids.NewSet(),
 	}
 	ln.node = core.New(p, (*liveEnv)(ln), cfg)
 	if err := c.tr.Register(p, ln.deliver); err != nil {
@@ -326,6 +398,15 @@ func (ln *liveNode) dispatch(e envelope) {
 		if ln.observes(e.from) {
 			ln.det.ObserveBeacon(e.from, time.Now())
 		}
+		return
+	}
+	if dg, isDigest := e.payload.(SuspicionDigest); isDigest {
+		// A digest occupies a beacon slot, so it is beacon-grade liveness
+		// evidence for the sender — then its entries are absorbed.
+		if ln.observes(e.from) {
+			ln.det.ObserveBeacon(e.from, time.Now())
+		}
+		ln.absorbDigest(dg)
 		return
 	}
 	if _, sub := e.payload.(SubstrateTraffic); sub {
@@ -407,8 +488,21 @@ func (ln *liveNode) beat() {
 		// On a dedicated beacon plane the piggyback suppression is
 		// skipped: suppressing a cadence-pure datagram saves nothing and
 		// costs the peer's detector its cleanest sample.
-		if e.beacon && (ln.c.planed || beaconDue(e.m, ln.lastSent, now, ln.c.opts.HeartbeatEvery)) {
-			ln.c.post(ln.id, e.m, 0, Heartbeat{})
+		if e.beacon {
+			sent := false
+			// Digest dissemination: pending suspicions ride this beacon
+			// slot instead of a pure heartbeat. The digest is liveness
+			// evidence too (receivers feed it to the detector), so the
+			// substitution costs the detector nothing.
+			if ln.gossip && len(ln.digestOut) > 0 {
+				if entries := ln.pendingFor(e.m); len(entries) > 0 {
+					ln.c.post(ln.id, e.m, 0, SuspicionDigest{Entries: entries})
+					sent = true
+				}
+			}
+			if !sent && (ln.c.planed || beaconDue(e.m, ln.lastSent, now, ln.c.opts.HeartbeatEvery)) {
+				ln.c.post(ln.id, e.m, 0, Heartbeat{})
+			}
 		}
 		if !e.watch {
 			continue
@@ -509,6 +603,23 @@ func (e *liveEnv) RelayPeers(unsuspected []ids.ProcID) []ids.ProcID {
 	return ln.c.opts.Topology.Monitors(unsuspected, ln.id)
 }
 
+// GossipActive implements core.SuspicionGossiper: digest dissemination is
+// on when the cluster enables it (beacon plane present, not forced off)
+// AND this node's current view is under a partial topology — under full
+// monitoring every member suspects first-hand and digests would only add
+// frames. All loop-owned.
+func (e *liveEnv) GossipActive() bool {
+	ln := (*liveNode)(e)
+	return ln.gossip
+}
+
+// GossipSuspicion implements core.SuspicionGossiper: the suspicion joins
+// the outgoing digest batch and rides this node's next beacons.
+func (e *liveEnv) GossipSuspicion(q ids.ProcID, level float64) {
+	ln := (*liveNode)(e)
+	ln.queueDigest(q, level)
+}
+
 // RecordLevel implements core.LevelRecorder: Faulty events carry the
 // detector's suspicion level into the trace.
 func (e *liveEnv) RecordLevel(k event.Kind, other ids.ProcID, level float64) {
@@ -531,6 +642,8 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln.beaconSet = ids.NewSet(ln.beaconTo...)
 	ln.wheel = buildWheel(members, ln.id, ln.beaconTo, ln.watch)
 	ln.relayPartial = len(ln.watch) < len(members)-1
+	ln.gossip = ln.c.digests && ln.relayPartial
+	ln.pruneDigests(ids.NewSet(members...))
 	ln.det.Retain(ln.watch)
 	for q := range ln.lastSent {
 		if !ln.beaconSet.Has(q) {
@@ -595,6 +708,11 @@ func (c *Cluster) Transport() transport.Transport { return c.tr }
 
 // Recorder exposes the run trace.
 func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
+
+// StartedAt is the wall-clock zero of the recorder's timestamps — the
+// offset that lets traces from multiple OS processes (Options.Self mode)
+// merge onto one absolute timeline.
+func (c *Cluster) StartedAt() time.Time { return c.start }
 
 // Kill hard-crashes a process: its goroutine stops and its transport
 // endpoint is torn down, exactly like a host failure.

@@ -423,3 +423,139 @@ func TestRingOverTCPExcludesKilledMember(t *testing.T) {
 	}
 	checkGMP(t, c, n)
 }
+
+// --- Hier end to end ----------------------------------------------------------
+
+func hierOpts(n, clusterSize, k int) Options {
+	opts := fast(n)
+	opts.Topology = topology.Hier{C: clusterSize, K: k}
+	return opts
+}
+
+func TestHierExcludesKilledMember(t *testing.T) {
+	// n=9, C=3, K=1: the victim p6 is watched only by its intra-cluster
+	// predecessor p5; the report must cross the hierarchy to the
+	// coordinator p1 and drive the exclusion.
+	c := Start(hierOpts(9, 3, 1))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	victim := ids.Named("p6")
+	c.Kill(victim)
+	v, err := c.WaitConverged(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(victim) {
+		t.Fatalf("victim still in %v", v)
+	}
+	checkGMP(t, c, 9)
+}
+
+func TestHierCoordinatorDeathReconfigures(t *testing.T) {
+	// The coordinator is also its cluster's leader: killing it must let
+	// the relay carry faulty(p1) from its monitors (intra predecessor +
+	// previous leader) to the heir p2, which initiates reconfiguration.
+	c := Start(hierOpts(9, 3, 1))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(ids.Named("p1"))
+	v, err := c.WaitConverged(25 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Has(ids.Named("p1")) {
+		t.Fatalf("dead coordinator still in %v", v)
+	}
+	if v.Mgr() != ids.Named("p2") {
+		t.Errorf("Mgr = %v, want p2", v.Mgr())
+	}
+	checkGMP(t, c, 9)
+}
+
+func TestHierPartitionedMonitorRelayStillExcludes(t *testing.T) {
+	// The Chaos × Hier interplay, mirroring the ring-1 partition test:
+	// under Hier{C:3, K:1} over p1..p9, p5 is the ONLY monitor of p6.
+	// Kill p6 and block everything p5 sends to the coordinator p1 — p5's
+	// GMP-5 report can never arrive directly. The exclusion must still
+	// happen through the hierarchy's dissemination: p5's relay re-closes
+	// the topology over the unsuspected members (clusters recomputed over
+	// the filtered view) and hands faulty(p6) to its new intra-cluster
+	// successor, from which the strongly-connected monitor graph carries
+	// it — leader ring included — to p1; the coordinator's await fallback
+	// (Config.AwaitWait) backstops the race with p5's own exclusion.
+	opts := hierOpts(9, 3, 1)
+	ch := transport.NewChaos(transport.NewInmem(), transport.ChaosOptions{})
+	opts.Transport = ch
+	c := Start(opts)
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ch.SetLink(ids.Named("p5"), ids.Named("p1"), transport.ChaosLink{Blocked: true})
+	c.Kill(ids.Named("p6"))
+	deadline := time.Now().Add(25 * time.Second)
+	for {
+		v := c.ViewOf(ids.Named("p1"))
+		if v != nil && !v.Has(ids.Named("p6")) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("the hierarchy never carried the monitor's suspicion around the partition: p6 still in the coordinator's view")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHierChurnKeepsCoverageAndGMP(t *testing.T) {
+	// Kill/join cycles under the hierarchy: every install recomputes the
+	// clusters over the surviving members, and coverage (every member
+	// watched by ≥1 other) must hold on every converged view.
+	const n = 9
+	c := Start(hierOpts(n, 3, 1))
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	assertCoverage := func(members []ids.ProcID) {
+		t.Helper()
+		topo := topology.Hier{C: 3, K: 1}
+		monitored := ids.NewSet()
+		for _, p := range members {
+			for _, q := range topo.Monitors(members, p) {
+				monitored.Add(q)
+			}
+		}
+		for _, q := range members {
+			if len(members) > 1 && !monitored.Has(q) {
+				t.Fatalf("coverage broken: %v monitored by nobody in %v", q, members)
+			}
+		}
+	}
+	inc := uint32(0)
+	for cycle := 0; cycle < 2; cycle++ {
+		running := c.Running()
+		victim := running[len(running)-1]
+		if victim == ids.Named("p1") && len(running) > 1 {
+			victim = running[len(running)-2]
+		}
+		c.Kill(victim)
+		v, err := c.WaitConverged(20 * time.Second)
+		if err != nil {
+			t.Fatalf("cycle %d after kill: %v", cycle, err)
+		}
+		assertCoverage(v.Members())
+		inc++
+		reborn := ids.ProcID{Site: victim.Site, Incarnation: victim.Incarnation + inc}
+		c.Join(reborn, c.Running()[0])
+		v, err = c.WaitConverged(20 * time.Second)
+		if err != nil {
+			t.Fatalf("cycle %d after join: %v", cycle, err)
+		}
+		assertCoverage(v.Members())
+	}
+	checkGMP(t, c, n)
+}

@@ -163,9 +163,16 @@ func TestTransportStatsSurfaceDrops(t *testing.T) {
 	}
 	// Between the kill and the exclusion, survivors kept beaconing the
 	// dead endpoint; those frames must land in a dead-host bucket, not
-	// vanish uncounted or masquerade as saturation.
+	// vanish uncounted or masquerade as saturation. The accounting is
+	// eventual: the stream plane retries transient failures with backoff
+	// (reliable-FIFO contract) before it gives a frame up for dead.
+	deadline := time.Now().Add(10 * time.Second)
 	st := c.TransportStats()
-	if st.DialFailed+st.UnknownPeer+st.WriteFailed == 0 {
+	for st.DialFailed+st.UnknownPeer+st.WriteFailed+st.Closed == 0 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+		st = c.TransportStats()
+	}
+	if st.DialFailed+st.UnknownPeer+st.WriteFailed+st.Closed == 0 {
 		t.Errorf("no dead-host drops recorded after a kill: %+v", st)
 	}
 	if st.QueueSaturated != 0 {

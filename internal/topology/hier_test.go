@@ -1,0 +1,183 @@
+package topology
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+func TestHierDegeneratesToRingKAtOneCluster(t *testing.T) {
+	// n ≤ C is a single cluster: the hierarchy must be ring-k exactly,
+	// including the inverse relation.
+	for _, n := range []int{2, 3, 7, 8} {
+		v := view(n)
+		h := Hier{C: 8, K: 2}
+		r := RingK{K: 2}
+		for _, self := range v {
+			if got, want := h.Monitors(v, self), r.Monitors(v, self); !equal(got, want) {
+				t.Errorf("n=%d Hier.Monitors(%v) = %v, want RingK %v", n, self, got, want)
+			}
+			if got, want := h.MonitoredBy(v, self), r.MonitoredBy(v, self); !equal(got, want) {
+				t.Errorf("n=%d Hier.MonitoredBy(%v) = %v, want RingK %v", n, self, got, want)
+			}
+		}
+	}
+}
+
+func TestHierLeaderRingLinksClusters(t *testing.T) {
+	// n=9, C=3, K=1: clusters {0,1,2} {3,4,5} {6,7,8}, leaders {0,3,6}.
+	v := view(9)
+	h := Hier{C: 3, K: 1}
+
+	// A leader monitors its intra-cluster successor and the next leader.
+	if got, want := h.Monitors(v, v[0]), []ids.ProcID{v[1], v[3]}; !equal(got, want) {
+		t.Errorf("Monitors(leader v0) = %v, want %v", got, want)
+	}
+	// A non-leader stays inside its cluster, wrapping its sub-ring.
+	if got, want := h.Monitors(v, v[2]), []ids.ProcID{v[0]}; !equal(got, want) {
+		t.Errorf("Monitors(v2) = %v, want %v", got, want)
+	}
+	// Inverse of a mid leader: intra predecessor (wrap) + previous leader.
+	if got, want := h.MonitoredBy(v, v[3]), []ids.ProcID{v[5], v[0]}; !equal(got, want) {
+		t.Errorf("MonitoredBy(leader v3) = %v, want %v", got, want)
+	}
+	// The last cluster's leader wraps the leader ring back to the first.
+	if got, want := h.Monitors(v, v[6]), []ids.ProcID{v[7], v[0]}; !equal(got, want) {
+		t.Errorf("Monitors(leader v6) = %v, want %v", got, want)
+	}
+}
+
+func TestHierZeroValueUsesDefaults(t *testing.T) {
+	v := view(2 * DefaultHierClusterSize)
+	got := Hier{}.Monitors(v, v[1])
+	if len(got) != DefaultRingK {
+		t.Errorf("zero-value Hier non-leader monitors %d members, want %d", len(got), DefaultRingK)
+	}
+}
+
+// TestHierStronglyConnected: the relay/digest flood only reaches every
+// operational member if the monitoring graph is strongly connected —
+// intra-cluster rings pass through every member and the leader ring links
+// every cluster, for any (n, C, K), including filtered (post-suspicion)
+// views of any composition.
+func TestHierStronglyConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(60)
+		v := view(n)
+		h := Hier{C: 1 + rng.Intn(12), K: 1 + rng.Intn(4)}
+		// Reachability from every member over monitor edges.
+		idx := make(map[ids.ProcID]int, n)
+		for i, p := range v {
+			idx[p] = i
+		}
+		for s := range v {
+			seen := make([]bool, n)
+			seen[s] = true
+			queue := []int{s}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				for _, q := range h.Monitors(v, v[cur]) {
+					if j := idx[q]; !seen[j] {
+						seen[j] = true
+						queue = append(queue, j)
+					}
+				}
+			}
+			for j, ok := range seen {
+				if !ok {
+					t.Fatalf("n=%d C=%d K=%d: %v cannot reach %v over monitor edges", n, h.C, h.K, v[s], v[j])
+				}
+			}
+		}
+	}
+}
+
+// TestCoverageInvariantUnderConcurrentInstalls drives Monitors/MonitoredBy
+// from many goroutines over differently-filtered views simultaneously —
+// the live runtime's shape, where every node recomputes its watch and
+// beacon sets on each install while relays filter the view down to
+// unsuspected members. Topologies must be pure (this test is the -race
+// witness) and must preserve the coverage invariant on every filtered
+// view they can be handed.
+func TestCoverageInvariantUnderConcurrentInstalls(t *testing.T) {
+	base := view(32)
+	topos := []Topology{RingK{K: 3}, Hier{C: 6, K: 2}, Hier{C: 3, K: 1}}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for trial := 0; trial < 200; trial++ {
+				// A random "install": some suffix of the group excluded,
+				// some random members excluded, order preserved.
+				v := make([]ids.ProcID, 0, len(base))
+				for _, p := range base {
+					if rng.Intn(4) > 0 {
+						v = append(v, p)
+					}
+				}
+				if len(v) < 2 {
+					continue
+				}
+				for _, topo := range topos {
+					monitored := ids.NewSet()
+					for _, p := range v {
+						for _, q := range topo.Monitors(v, p) {
+							if q == p || !contains(v, q) {
+								t.Errorf("%T: Monitors(%v) yields %v outside the filtered view", topo, p, q)
+								return
+							}
+							monitored.Add(q)
+						}
+						if !sameSet(topo.(Inverter).MonitoredBy(v, p), BeaconTargets(generically{topo}, v, p)) {
+							t.Errorf("%T: inverse mismatch for %v", topo, p)
+							return
+						}
+					}
+					for _, q := range v {
+						if !monitored.Has(q) {
+							t.Errorf("%T n=%d: %v monitored by nobody", topo, len(v), q)
+							return
+						}
+					}
+				}
+			}
+		}(int64(g) + 100)
+	}
+	wg.Wait()
+}
+
+func TestParseTopologySpecs(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Topology
+	}{
+		{"full", Full{}},
+		{"", Full{}},
+		{"ring", RingK{}},
+		{"ring:4", RingK{K: 4}},
+		{"hier", Hier{}},
+		{"hier:16", Hier{C: 16}},
+		{"hier:16:3", Hier{C: 16, K: 3}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{"ring:0", "ring:x", "ring:1:2", "hier:0", "hier:2:3:4", "mesh", "full:3"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}

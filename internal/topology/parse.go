@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse resolves a textual topology spec, the shared vocabulary of the
+// CLI tools (gmpsim -topology, gmpbench's multi-process members):
+//
+//	full          all-to-all monitoring
+//	ring          ring with the default k
+//	ring:k        ring with k rank-successors, k ≥ 1
+//	hier          hierarchy with default cluster size and k
+//	hier:c        clusters of c, default k
+//	hier:c:k      clusters of c with intra-cluster ring-k
+func Parse(spec string) (Topology, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	switch name {
+	case "", "full":
+		if args != "" {
+			return nil, fmt.Errorf("topology: %q takes no parameters", spec)
+		}
+		return Full{}, nil
+	case "ring":
+		k, err := parseInts(spec, args, 1)
+		if err != nil {
+			return nil, err
+		}
+		return RingK{K: k[0]}, nil
+	case "hier":
+		ck, err := parseInts(spec, args, 2)
+		if err != nil {
+			return nil, err
+		}
+		return Hier{C: ck[0], K: ck[1]}, nil
+	default:
+		return nil, fmt.Errorf("topology: unknown spec %q; want full, ring[:k], or hier[:c[:k]]", spec)
+	}
+}
+
+// parseInts splits args into at most max colon-separated positive ints,
+// zero-padding the tail (0 selects each parameter's documented default).
+func parseInts(spec, args string, max int) ([]int, error) {
+	out := make([]int, max)
+	if args == "" {
+		return out, nil
+	}
+	fields := strings.Split(args, ":")
+	if len(fields) > max {
+		return nil, fmt.Errorf("topology: %q has too many parameters", spec)
+	}
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("topology: bad parameter %q in %q: want a positive integer", f, spec)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -74,7 +74,11 @@ func TestCoverageInvariant(t *testing.T) {
 	for trial := 0; trial < 200; trial++ {
 		n := 2 + rng.Intn(12)
 		v := view(n)
-		topos := []Topology{Full{}, RingK{K: 1 + rng.Intn(n+1)}}
+		topos := []Topology{
+			Full{},
+			RingK{K: 1 + rng.Intn(n+1)},
+			Hier{C: 1 + rng.Intn(n+1), K: 1 + rng.Intn(4)},
+		}
 		for _, topo := range topos {
 			monitored := ids.NewSet()
 			for _, p := range v {
@@ -102,7 +106,11 @@ func TestBeaconTargetsMatchesGenericInverse(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		n := 2 + rng.Intn(10)
 		v := view(n)
-		for _, topo := range []Topology{Full{}, RingK{K: 1 + rng.Intn(n+1)}} {
+		for _, topo := range []Topology{
+			Full{},
+			RingK{K: 1 + rng.Intn(n+1)},
+			Hier{C: 1 + rng.Intn(n+1), K: 1 + rng.Intn(4)},
+		} {
 			for _, self := range v {
 				fast := BeaconTargets(topo, v, self)
 				generic := BeaconTargets(generically{topo}, v, self)

@@ -199,6 +199,9 @@ func (c *Chaos) Send(from, to ids.ProcID, m Message) {
 	if c.dropsLocked(link, m) {
 		c.mu.Unlock()
 		c.injected.Add(1)
+		// The sender still paid for this frame; count it here because
+		// the inner transport will never see it.
+		c.stats.noteSend(m.Payload)
 		return
 	}
 	d := link.Delay
@@ -281,7 +284,9 @@ func (c *Chaos) Stats() Stats {
 	// Add, don't overwrite: stacked Chaos wrappers each contribute their
 	// own injected drops.
 	s.ChaosInjected += c.injected.Load()
-	s.Closed += c.stats.snapshot().Closed
+	own := c.stats.snapshot()
+	s.Closed += own.Closed
+	s.SuspicionFrames += own.SuspicionFrames
 	return s
 }
 

@@ -92,9 +92,34 @@ type payloadCodec struct {
 	// exempt from per-channel mux sequencing (Seq stays 0), their encoded
 	// bytes are cacheable per channel, and queued duplicates coalesce.
 	beacon bool
-	proto  any
-	enc    func(*Encoder, any)
-	dec    func(*Decoder) any
+	// volatile marks a beacon whose encoding varies between sends: it
+	// still rides the beacon plane, but the per-channel byte caches and
+	// duplicate coalescing must not apply — a cached first encoding
+	// would silently replay stale contents forever.
+	volatile bool
+	// suspicion marks payloads that disseminate failure suspicions;
+	// every send of one increments Stats.SuspicionFrames.
+	suspicion bool
+	proto     any
+	enc       func(*Encoder, any)
+	dec       func(*Decoder) any
+}
+
+// PayloadClass refines how a registered binary payload is treated on the
+// wire, beyond its field codec.
+type PayloadClass struct {
+	// Beacon marks an idempotent liveness signal: exempt from mux
+	// sequencing, routed to the datagram plane by TwoPlane when MsgID
+	// is 0.
+	Beacon bool
+	// Volatile marks a beacon whose encoded bytes differ between sends,
+	// disabling the per-channel beacon byte caches and coalescing that
+	// assume a beacon kind is identical every time. Meaningless without
+	// Beacon.
+	Volatile bool
+	// Suspicion marks a payload carrying failure-suspicion
+	// dissemination; sends are counted in Stats.SuspicionFrames.
+	Suspicion bool
 }
 
 // binReg is the registry. Lookups are lock-free — the codec paths hit
@@ -107,11 +132,15 @@ var binReg = struct {
 	byType     sync.Map // reflect.Type → *payloadCodec
 }{}
 
-func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any, empty, beacon bool) {
+func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any, empty bool, class PayloadClass) {
 	if kind == kindGob {
 		panic("transport: kind 0 is the gob escape hatch")
 	}
-	c := &payloadCodec{kind: kind, typ: reflect.TypeOf(proto), empty: empty, beacon: beacon, proto: proto, enc: enc, dec: dec}
+	c := &payloadCodec{
+		kind: kind, typ: reflect.TypeOf(proto), empty: empty,
+		beacon: class.Beacon, volatile: class.Volatile, suspicion: class.Suspicion,
+		proto: proto, enc: enc, dec: dec,
+	}
 	binReg.Lock()
 	defer binReg.Unlock()
 	if prev := binReg.byKind[kind].Load(); prev != nil {
@@ -128,14 +157,14 @@ func registerBinary(kind byte, proto any, enc func(*Encoder, any), dec func(*Dec
 // the given kind tag (≥ 16 for layers outside this package). enc must
 // write and dec must read exactly the same field sequence.
 func RegisterBinaryPayload(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any) {
-	registerBinary(kind, proto, enc, dec, false, false)
+	registerBinary(kind, proto, enc, dec, false, PayloadClass{})
 }
 
 // RegisterEmptyPayload registers a fieldless payload type: it costs one
 // kind byte on the wire and decodes to a canonical value with zero
 // allocations.
 func RegisterEmptyPayload(kind byte, proto any) {
-	registerBinary(kind, proto, nil, nil, true, false)
+	registerBinary(kind, proto, nil, nil, true, PayloadClass{})
 }
 
 // RegisterBeaconPayload registers a fieldless liveness beacon. Beacons get
@@ -143,7 +172,17 @@ func RegisterEmptyPayload(kind byte, proto any) {
 // beacon send allocates nothing), no mux sequencing, and coalescing of
 // duplicates queued behind a slow link.
 func RegisterBeaconPayload(kind byte, proto any) {
-	registerBinary(kind, proto, nil, nil, true, true)
+	registerBinary(kind, proto, nil, nil, true, PayloadClass{Beacon: true})
+}
+
+// RegisterClassedPayload registers a binary payload with explicit wire
+// treatment. It exists for payloads outside the fixed registration
+// shapes above — e.g. a suspicion digest is a beacon (rides the datagram
+// plane at cadence) but Volatile (its entries change between sends, so
+// byte caches must not apply) and Suspicion (its sends are the cost the
+// digest experiment measures).
+func RegisterClassedPayload(kind byte, proto any, enc func(*Encoder, any), dec func(*Decoder) any, class PayloadClass) {
+	registerBinary(kind, proto, enc, dec, false, class)
 }
 
 func binCodecFor(v any) *payloadCodec {
@@ -184,6 +223,12 @@ func (e *Encoder) Uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
 
 // Varint appends a zigzag-encoded signed varint.
 func (e *Encoder) Varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Float64 appends an IEEE-754 double as its fixed 8-byte big-endian bit
+// pattern (suspicion levels are unbounded reals; varints buy nothing).
+func (e *Encoder) Float64(v float64) {
+	e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v))
+}
 
 // Bool appends a bool as one byte.
 func (e *Encoder) Bool(v bool) {
@@ -274,6 +319,20 @@ func (d *Decoder) Varint() int64 {
 	return v
 }
 
+// Float64 reads a fixed 8-byte big-endian IEEE-754 double.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.Remaining() < 8 {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
 // Bool reads a one-byte bool.
 func (d *Decoder) Bool() bool { return d.Byte() != 0 }
 
@@ -325,6 +384,11 @@ func (d *Decoder) Blob() []byte {
 	d.off += int(n)
 	return out
 }
+
+// Count reads a slice length and bounds it by the minimum wire size of
+// one element against the remaining input — the safe way for external
+// payload codecs to size their element loops (see count).
+func (d *Decoder) Count(minElem int) int { return d.count(minElem) }
 
 // count reads a slice length and bounds it by the minimum wire size of
 // one element against the remaining input, so a corrupt count cannot
@@ -623,11 +687,11 @@ func registerCoreCodecs() {
 		},
 		func(d *Decoder) any {
 			return core.Invite{Op: getOp(d), Ver: getVer(d)}
-		}, false, false)
+		}, false, PayloadClass{})
 
 	registerBinary(kindOK, core.OK{},
 		func(e *Encoder, v any) { putVer(e, v.(core.OK).Ver) },
-		func(d *Decoder) any { return core.OK{Ver: getVer(d)} }, false, false)
+		func(d *Decoder) any { return core.OK{Ver: getVer(d)} }, false, PayloadClass{})
 
 	registerBinary(kindCommit, core.Commit{},
 		func(e *Encoder, v any) {
@@ -645,9 +709,9 @@ func registerCoreCodecs() {
 				Next: getOp(d), NextVer: getVer(d),
 				Faulty: getProcIDs(d), Recovered: getProcIDs(d),
 			}
-		}, false, false)
+		}, false, PayloadClass{})
 
-	registerBinary(kindInterrogate, core.Interrogate{}, nil, nil, true, false)
+	registerBinary(kindInterrogate, core.Interrogate{}, nil, nil, true, PayloadClass{})
 
 	registerBinary(kindInterrogateOK, core.InterrogateOK{},
 		func(e *Encoder, v any) {
@@ -659,7 +723,7 @@ func registerCoreCodecs() {
 		},
 		func(d *Decoder) any {
 			return core.InterrogateOK{Ver: getVer(d), Seq: getSeq(d), Next: getNext(d), Faulty: getProcIDs(d)}
-		}, false, false)
+		}, false, PayloadClass{})
 
 	registerBinary(kindPropose, core.Propose{},
 		func(e *Encoder, v any) {
@@ -671,11 +735,11 @@ func registerCoreCodecs() {
 		},
 		func(d *Decoder) any {
 			return core.Propose{RL: getSeq(d), Ver: getVer(d), Invis: getOp(d), Faulty: getProcIDs(d)}
-		}, false, false)
+		}, false, PayloadClass{})
 
 	registerBinary(kindProposeOK, core.ProposeOK{},
 		func(e *Encoder, v any) { putVer(e, v.(core.ProposeOK).Ver) },
-		func(d *Decoder) any { return core.ProposeOK{Ver: getVer(d)} }, false, false)
+		func(d *Decoder) any { return core.ProposeOK{Ver: getVer(d)} }, false, PayloadClass{})
 
 	registerBinary(kindReconfCommit, core.ReconfCommit{},
 		func(e *Encoder, v any) {
@@ -687,15 +751,18 @@ func registerCoreCodecs() {
 		},
 		func(d *Decoder) any {
 			return core.ReconfCommit{RL: getSeq(d), Ver: getVer(d), Invis: getOp(d), Faulty: getProcIDs(d)}
-		}, false, false)
+		}, false, PayloadClass{})
 
+	// FaultyReport is the point-to-point suspicion vocabulary (direct
+	// reports to the coordinator and the topology relay flood), so it is
+	// the relay arm of the SuspicionFrames cost comparison.
 	registerBinary(kindFaultyReport, core.FaultyReport{},
 		func(e *Encoder, v any) { putProcID(e, v.(core.FaultyReport).Suspect) },
-		func(d *Decoder) any { return core.FaultyReport{Suspect: getProcID(d)} }, false, false)
+		func(d *Decoder) any { return core.FaultyReport{Suspect: getProcID(d)} }, false, PayloadClass{Suspicion: true})
 
 	registerBinary(kindJoinRequest, core.JoinRequest{},
 		func(e *Encoder, v any) { putProcID(e, v.(core.JoinRequest).Joiner) },
-		func(d *Decoder) any { return core.JoinRequest{Joiner: getProcID(d)} }, false, false)
+		func(d *Decoder) any { return core.JoinRequest{Joiner: getProcID(d)} }, false, PayloadClass{})
 
 	registerBinary(kindStateTransfer, core.StateTransfer{},
 		func(e *Encoder, v any) {
@@ -712,5 +779,5 @@ func registerCoreCodecs() {
 				Members: getProcIDs(d), Ver: getVer(d), Seq: getSeq(d),
 				Coord: getProcID(d), Next: getOp(d), NextVer: getVer(d),
 			}
-		}, false, false)
+		}, false, PayloadClass{})
 }

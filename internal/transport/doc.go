@@ -36,7 +36,14 @@
 // Every implementation shares datagram-drop semantics for dead hosts
 // (silence is the failure detector's problem, §2.2) and per-reason drop
 // accounting through Stats, which also gauges send-queue depth (current
-// and high-water) so congestion is observable before it becomes drops.
+// and high-water) so congestion is observable before it becomes drops,
+// and counts suspicion-class frames (Stats.SuspicionFrames) so the
+// digest-vs-relay dissemination cost of DESIGN.md §10 is measured at
+// the wire. The TCP stream plane honors the reliable-FIFO contract
+// through transient faults: simultaneous opens resolve to the same
+// socket on both ends (smaller initiator wins), and the pair writer
+// retries failed dials and writes with backoff before accounting a
+// drop.
 // The wire codec (Frame, AppendFrame / EncodeFrame / ReadFrame /
 // DecodeFrame) is a hand-rolled binary format — length-prefixed on
 // streams, bare frame body per datagram — covering the whole

@@ -47,6 +47,7 @@ func (t *Inmem) Unregister(p ids.ProcID) {
 
 // Send implements Transport. Unknown destinations drop the message.
 func (t *Inmem) Send(from, to ids.ProcID, m Message) {
+	t.stats.noteSend(m.Payload)
 	t.mu.RLock()
 	h := t.handlers[to]
 	closed := t.closed

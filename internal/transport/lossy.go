@@ -237,6 +237,7 @@ func (t *Lossy) Unregister(p ids.ProcID) {
 // the loop goroutine. Successive sends on one channel carry increasing
 // heap sequence numbers, so the ABP queue sees them in send order.
 func (t *Lossy) Send(from, to ids.ProcID, m Message) {
+	t.stats.noteSend(m.Payload)
 	body, err := EncodeFrame(Frame{From: from.String(), To: to.String(), MsgID: m.MsgID, Body: m.Payload})
 	if err != nil {
 		return

@@ -212,6 +212,7 @@ func (t *TCP) Unregister(p ids.ProcID) {
 
 // Send implements Transport.
 func (t *TCP) Send(from, to ids.ProcID, m Message) {
+	t.stats.noteSend(m.Payload)
 	if from == to {
 		// Self-sends never touch a socket (there is no {p, p} pair);
 		// deliver directly, matching Inmem's contract.
@@ -753,7 +754,10 @@ func (m *pairMux) wakeLocked() {
 // no extra liveness information.
 func (m *pairMux) enqueue(k chanKey, msg Message) bool {
 	c := binCodecFor(msg.Payload)
-	beacon := c != nil && c.beacon && msg.MsgID == 0
+	// Volatile beacons carry changing contents, so neither coalescing
+	// nor the writer's byte cache may treat them as interchangeable;
+	// they ride the queue as ordinary sequenced frames.
+	beacon := c != nil && c.beacon && !c.volatile && msg.MsgID == 0
 	m.mu.Lock()
 	if m.stopped {
 		m.mu.Unlock()
@@ -886,14 +890,18 @@ type muxWriter struct {
 
 // writeBatch encodes the batch into the arena and writes it out in
 // chunks of at most batchMaxBytes, each chunk one vectored write. A
-// failed chunk retries once in full on a fresh connection — duplicating
-// across the boundary is permitted datagram semantics, and sequenced
-// frames deduplicate at the reader's mux sequence check. Once a chunk
-// is lost the rest of the batch is dropped too: the link is down and
-// redialing per chunk would only stall the queues further.
+// failed chunk retries in full on a fresh connection (hard or soft
+// budget per flush) — duplicating across the boundary is permitted
+// datagram semantics, and sequenced frames deduplicate at the reader's
+// mux sequence check. Once a hard chunk is lost the rest of the batch
+// is dropped too: the link stayed down through the whole retry budget,
+// and redialing per chunk would only stall the queues further. A lost
+// heartbeat-only chunk just skips ahead — any protocol frames later in
+// the batch still get their own hard retries.
 func (w *muxWriter) writeBatch(batch []muxFrame) {
 	a := w.arena[:0]
-	chunk := 0 // frames encoded into a and not yet written
+	chunk := 0    // frames encoded into a and not yet written
+	hard := false // chunk holds a frame the reliable-FIFO contract covers
 	for i := range batch {
 		mf := &batch[i]
 		var err error
@@ -901,6 +909,7 @@ func (w *muxWriter) writeBatch(batch []muxFrame) {
 			a, err = w.appendBeacon(a, mf)
 		} else {
 			a, err = appendPrefixed(a, mf.f)
+			hard = true
 		}
 		if err != nil {
 			w.m.t.stats.drop(dropWriteFailed) // unencodable frame: skip it, keep the batch
@@ -908,29 +917,77 @@ func (w *muxWriter) writeBatch(batch []muxFrame) {
 		}
 		chunk++
 		if len(a) >= batchMaxBytes {
-			if ok, why := w.flush(a, chunk); !ok {
+			if ok, why := w.flush(a, chunk, hard); !ok && hard {
 				w.m.t.stats.dropN(why, int64(len(batch)-i-1))
 				w.reclaim(a)
 				return
 			}
-			a, chunk = a[:0], 0
+			a, chunk, hard = a[:0], 0, false
 		}
 	}
-	w.flush(a, chunk) // the batch ends here: nothing left to count on failure
+	w.flush(a, chunk, hard) // the batch ends here: nothing left to count on failure
 	w.reclaim(a)
 }
 
-// flush writes a as one vectored write, accounting the chunk's frames as
-// drops if the link cannot be (re-)established or the rewrite fails too.
-func (w *muxWriter) flush(a []byte, frames int) (bool, dropReason) {
+// flushAttempts bounds flush's redial-and-rewrite loop for hard chunks.
+// Protocol frames ride the stream plane on the paper's reliable-FIFO
+// contract (§2.1) and nothing above the transport retransmits, so a
+// transiently unreachable peer (a dial racing a simultaneous open, an
+// accept loop starved on a loaded host) must be retried here, with
+// backoff, rather than silently dropped. The bound keeps a writer from
+// spinning on a genuinely dead peer — only this pair's queue stalls
+// meanwhile, and a dead peer has nothing else to say on it. (A crashed
+// peer refuses instantly, so the dead-host cost is the backoff sleeps,
+// not the dial timeouts; the budget is sized for a host descheduled for
+// whole seconds, as happens with hundreds of member processes per core
+// in the E19 harness.)
+//
+// Heartbeat-only chunks get soft treatment instead — one immediate
+// retry, no backoff: a beacon's information content is its arrival
+// time, so a beacon held back by backoff sleeps is worse than a beacon
+// dropped (the next one is a fresh sample one interval later, while a
+// stale one distorts every inter-arrival the detector fits — the §9
+// drop-don't-queue argument, applied to the retry path itself).
+const flushAttempts = 8
+
+// flushSoftAttempts is the retry budget for heartbeat-only chunks.
+const flushSoftAttempts = 2
+
+// flushBackoffCap caps the linear per-attempt backoff.
+const flushBackoffCap = 500 * time.Millisecond
+
+// flush writes a as one vectored write, redialing with backoff on
+// failure; the chunk's frames are accounted as drops only once the link
+// stays unestablishable (or rejected) through every attempt.
+func (w *muxWriter) flush(a []byte, frames int, hard bool) (bool, dropReason) {
 	if frames == 0 {
 		return true, dropNone
 	}
-	for attempt := 0; attempt < 2; attempt++ {
-		c, why := w.m.ensureConn()
+	attempts := flushSoftAttempts
+	if hard {
+		attempts = flushAttempts
+	}
+	why := dropWriteFailed
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 && hard {
+			backoff := min(time.Duration(attempt)*100*time.Millisecond, flushBackoffCap)
+			select {
+			case <-w.m.quit:
+				w.m.t.stats.dropN(dropClosed, int64(frames))
+				return false, dropClosed
+			case <-time.After(backoff):
+			}
+		}
+		c, dialWhy := w.m.ensureConn()
 		if c == nil {
-			w.m.t.stats.dropN(why, int64(frames))
-			return false, why
+			why = dialWhy
+			if why != dropDialFailed {
+				// Stopped mux or unknown peer: no later attempt can do
+				// better, so don't stall the queue behind a lost cause.
+				w.m.t.stats.dropN(why, int64(frames))
+				return false, why
+			}
+			continue
 		}
 		// WriteTo consumes the Buffers header it is given, so hand it a
 		// scratch copy of the header (a field, not a local: a local would
@@ -940,10 +997,11 @@ func (w *muxWriter) flush(a []byte, frames int) (bool, dropReason) {
 		if _, err := w.vec.WriteTo(c); err == nil {
 			return true, dropNone
 		}
+		why = dropWriteFailed
 		w.m.dropConn(c)
 	}
-	w.m.t.stats.dropN(dropWriteFailed, int64(frames))
-	return false, dropWriteFailed
+	w.m.t.stats.dropN(why, int64(frames))
+	return false, why
 }
 
 // reclaim keeps the arena for the next batch unless a burst of large
@@ -1005,7 +1063,12 @@ func (w *muxWriter) appendBeacon(a []byte, mf *muxFrame) ([]byte, error) {
 
 // ensureConn returns the pair's connection, dialing (and introducing the
 // link with a muxHello) if none is established. A connection adopted from
-// the accept side while we dialed wins — the dialed socket is closed.
+// the accept side while we dialed is resolved by the same rule adopt
+// applies: the connection initiated by the smaller pair end survives.
+// Both sides must pick the same winner — if this end kept whichever
+// socket happened to establish first while the far end kept the other,
+// a simultaneous open would leave each side writing into a connection
+// its peer has already abandoned.
 func (m *pairMux) ensureConn() (net.Conn, dropReason) {
 	m.mu.Lock()
 	if m.stopped {
@@ -1028,7 +1091,7 @@ func (m *pairMux) ensureConn() (net.Conn, dropReason) {
 	if !ok {
 		return nil, dropUnknownPeer
 	}
-	c, err := net.DialTimeout("tcp", addr, time.Second)
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 	if err != nil {
 		return nil, dropDialFailed
 	}
@@ -1042,11 +1105,25 @@ func (m *pairMux) ensureConn() (net.Conn, dropReason) {
 		c.Close()
 		return nil, dropClosed
 	}
-	if m.conn != nil { // adopted while we dialed: the established link wins
-		adopted := m.conn
+	if m.conn != nil { // adopted from the accept side while we dialed
+		if !init.Less(m.connInit) {
+			// The adopted connection's initiator wins the simultaneous
+			// open (or it is this instance's own loopback leg): keep it.
+			adopted := m.conn
+			m.mu.Unlock()
+			c.Close()
+			return adopted, dropNone
+		}
+		// This end is the smaller initiator: the far end's adopt keeps
+		// the connection *we* dialed, so the adopted one here is already
+		// abandoned over there. Our dial wins on both sides.
+		old := m.conn
+		m.conn, m.connInit = c, init
 		m.mu.Unlock()
-		c.Close()
-		return adopted, dropNone
+		old.Close()
+		t.wg.Add(1)
+		go t.readConn(c, nil, m)
+		return c, dropNone
 	}
 	m.conn, m.connInit = c, init
 	m.mu.Unlock()

@@ -84,6 +84,12 @@ type Stats struct {
 	// The sender is unknown by definition, so these cannot be attributed
 	// to a channel.
 	DecodeFailed int64
+	// SuspicionFrames counts outbound frames whose payload disseminates
+	// failure suspicions (FaultyReport point-to-point traffic and
+	// suspicion digests alike). It is a cost counter, not a drop: the
+	// digest-vs-flood comparison reads this directly instead of
+	// inferring dissemination traffic from beacon counts.
+	SuspicionFrames int64
 	// ConnsOpen is a gauge, not a counter: the number of connections
 	// currently established (TCP: one per peer pair with an active
 	// multiplexed link; always 0 on connectionless transports). Because
@@ -122,6 +128,7 @@ func (s Stats) merge(o Stats) Stats {
 	s.ChaosInjected += o.ChaosInjected
 	s.Truncated += o.Truncated
 	s.DecodeFailed += o.DecodeFailed
+	s.SuspicionFrames += o.SuspicionFrames
 	s.ConnsOpen += o.ConnsOpen
 	s.SendQueueNow += o.SendQueueNow
 	if o.SendQueueMax > s.SendQueueMax {
@@ -150,10 +157,21 @@ const (
 type statCounters struct {
 	queueSaturated, unknownPeer, dialFailed, writeFailed, closed atomic.Int64
 	truncated, decodeFailed                                      atomic.Int64
+	suspicionFrames                                              atomic.Int64
 	sendQueueMax                                                 atomic.Int64
 }
 
 func (c *statCounters) drop(r dropReason) { c.dropN(r, 1) }
+
+// noteSend classifies one outbound payload for the cost counters: frames
+// carrying suspicion dissemination are counted whether or not they later
+// drop — the protocol paid the send either way. Transports call it once
+// per Send, before routing or queueing.
+func (c *statCounters) noteSend(payload any) {
+	if pc := binCodecFor(payload); pc != nil && pc.suspicion {
+		c.suspicionFrames.Add(1)
+	}
+}
 
 func (c *statCounters) dropN(r dropReason, n int64) {
 	if n <= 0 {
@@ -190,13 +208,14 @@ func (c *statCounters) queueDepth(depth int64) {
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		QueueSaturated: c.queueSaturated.Load(),
-		UnknownPeer:    c.unknownPeer.Load(),
-		DialFailed:     c.dialFailed.Load(),
-		WriteFailed:    c.writeFailed.Load(),
-		Closed:         c.closed.Load(),
-		Truncated:      c.truncated.Load(),
-		DecodeFailed:   c.decodeFailed.Load(),
-		SendQueueMax:   c.sendQueueMax.Load(),
+		QueueSaturated:  c.queueSaturated.Load(),
+		UnknownPeer:     c.unknownPeer.Load(),
+		DialFailed:      c.dialFailed.Load(),
+		WriteFailed:     c.writeFailed.Load(),
+		Closed:          c.closed.Load(),
+		Truncated:       c.truncated.Load(),
+		DecodeFailed:    c.decodeFailed.Load(),
+		SuspicionFrames: c.suspicionFrames.Load(),
+		SendQueueMax:    c.sendQueueMax.Load(),
 	}
 }

@@ -134,6 +134,7 @@ func (t *UDP) Unregister(p ids.ProcID) {
 // drops the frame where it stands and counts the reason; nothing ever
 // queues.
 func (t *UDP) Send(from, to ids.ProcID, m Message) {
+	t.stats.noteSend(m.Payload)
 	if from == to {
 		// Self-sends never touch the socket, matching Inmem's contract.
 		t.mu.RLock()
@@ -166,7 +167,9 @@ func (t *UDP) Send(from, to ids.ProcID, m Message) {
 
 	// Beacons send from a per-(channel, kind) byte cache — the 0-alloc
 	// fast path the stream plane's writer has, kept on the datagram plane.
-	if c := binCodecFor(m.Payload); c != nil && c.beacon && m.MsgID == 0 {
+	// Volatile beacons (digest contents change per send) must skip the
+	// cache and take the ordinary encode path below.
+	if c := binCodecFor(m.Payload); c != nil && c.beacon && !c.volatile && m.MsgID == 0 {
 		b := t.beaconBytes(beaconKey{ch: chanKey{from, to}, kind: c.kind}, m)
 		if b == nil {
 			t.stats.drop(dropWriteFailed)

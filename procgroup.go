@@ -82,6 +82,21 @@ type (
 	// monitoring relation decoupled from membership); set it on
 	// GroupOptions.Topology. Nil keeps all-to-all monitoring.
 	Topology = topology.Topology
+	// DigestMode selects how suspicions disseminate under a partial
+	// topology (GroupOptions.Digests): DigestAuto batches them into
+	// beacon-borne digests wherever a beacon plane exists, DigestOff
+	// forces the point-to-point relay flood.
+	DigestMode = live.DigestMode
+)
+
+// Digest dissemination modes for GroupOptions.Digests.
+const (
+	// DigestAuto (the default) rides suspicion digests on the beacon
+	// plane whenever the transport has one and the topology is partial.
+	DigestAuto = live.DigestAuto
+	// DigestOff forces the point-to-point suspicion relay everywhere —
+	// the A/B baseline of the scale experiment (E19).
+	DigestOff = live.DigestOff
 )
 
 // NewInmemTransport builds the default in-process transport explicitly
@@ -179,6 +194,24 @@ func NewFullTopology() Topology { return topology.Full{} }
 // DESIGN.md §8 and experiment E17). k ≤ 0 selects the default (3);
 // k ≥ n−1 degenerates to full monitoring.
 func NewRingTopology(k int) Topology { return topology.RingK{K: k} }
+
+// NewHierTopology selects hierarchical monitoring: the view's seniority
+// order is cut into contiguous clusters of clusterSize, each closed into
+// an intra-cluster ring-k, and the cluster leaders (each cluster's most
+// senior member) form a ring-k of their own that stitches the clusters
+// together. Beacon traffic stays O(n·k) like a flat ring while the
+// leader ring shortens the suspicion-dissemination diameter from O(n/k)
+// hops to O(clusterSize/k + n/(clusterSize·k)) — the shape that keeps
+// exclusion latency flat as the group grows past the flat ring's scale
+// wall (experiment E19). Values ≤ 0 select the defaults (clusters of 8,
+// k = 3); one cluster degenerates to exactly NewRingTopology(k).
+func NewHierTopology(clusterSize, k int) Topology {
+	return topology.Hier{C: clusterSize, K: k}
+}
+
+// ParseTopology resolves the textual topology vocabulary shared by the
+// CLI tools: "full", "ring[:k]", or "hier[:c[:k]]".
+func ParseTopology(spec string) (Topology, error) { return topology.Parse(spec) }
 
 // Named returns the incarnation-0 identifier for a site name.
 func Named(site string) ProcID { return ids.Named(site) }
