@@ -32,13 +32,14 @@ func main() {
 		os.Exit(runMember(os.Args[2:]))
 	}
 	forceMultiProc()
-	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, saturation, fd, scale")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, complexity, worstcase, figures, claims, churn, cuts, ablation, transport, saturation, fd, scale, kv")
 	seed := flag.Int64("seed", 1, "schedule seed")
 	flag.StringVar(&transportOut, "transport-out", "", "write the transport experiment's results as JSON to this path (e.g. BENCH_transport.json)")
 	fdFlags()
 	scaleFlags()
 	mprocFlags()
 	satFlags()
+	kvFlags()
 	flag.Parse()
 
 	run := func(name string, fn func(int64)) {
@@ -64,6 +65,7 @@ func main() {
 	}
 	run("fd", fdPerf)
 	run("scale", scalePerf)
+	run("kv", kvPerf)
 }
 
 func tw() *tabwriter.Writer {

@@ -1,0 +1,635 @@
+package broadcast
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/live"
+	"procgroup/internal/member"
+)
+
+// Msg is one position of a view's total order as this member processed
+// it: the (Ver, Seq) it holds locally, the origin's identity and pub
+// counter, and the application body. A message re-sequenced across a view
+// change keeps its (Origin, PubID) — that pair is its global identity —
+// while (Ver, Seq) names its slot in the order of the view that carried
+// it here.
+type Msg struct {
+	Ver    member.Version
+	Seq    uint64
+	Origin ids.ProcID
+	PubID  uint64
+	Body   []byte
+}
+
+// Config wires a Broadcaster to its application. All callbacks run on
+// the node's event loop.
+type Config struct {
+	// Deliver applies one message in total order. Exactly-once per
+	// (Origin, PubID): a message redelivered by state transfer after a
+	// view change is deduplicated before it reaches Deliver.
+	Deliver func(Msg)
+	// Observe, when set, sees every order position this member processes
+	// — applied or deduplicated — in order. Checkers use it to compare
+	// the per-view command sequence across members independently of who
+	// had already applied what before the view change.
+	Observe func(m Msg, applied bool)
+	// Snapshot captures the application state for joiner state transfer;
+	// Restore installs such a snapshot on a fresh member. Leaving them
+	// nil means joiners start from empty state (tests only).
+	Snapshot func() []byte
+	Restore  func([]byte)
+	// MaxBuffered caps the messages parked for views this member has not
+	// installed yet (default 4096); beyond it new arrivals are dropped
+	// and counted (senders recover by the usual resubmission paths).
+	MaxBuffered int
+}
+
+// Stats counts a Broadcaster's work; fields are atomics so tests and
+// benches can read them from any goroutine.
+type Stats struct {
+	Sequenced       atomic.Uint64 // entries sequenced here (as coordinator)
+	Processed       atomic.Uint64 // order positions processed
+	Applied         atomic.Uint64 // messages delivered to the app
+	BufferedFuture  atomic.Uint64 // messages parked for a future view
+	DroppedStale    atomic.Uint64 // old-view messages dropped
+	DroppedOverflow atomic.Uint64 // future-view messages dropped at cap
+	Resubmits       atomic.Uint64 // pubs resubmitted after a view change
+	Syncs           atomic.Uint64 // ViewSync rounds completed here
+}
+
+// Broadcaster delivers totally-ordered messages within installed views:
+// the view's coordinator sequences, every install triggers a flush
+// barrier and state transfer (DESIGN.md §11), and messages for views not
+// yet installed locally are buffered for redelivery. It implements
+// live.AppHook; attach one per node via live.Options.App. All state is
+// loop-owned — only Propose and the Stats fields are safe from other
+// goroutines.
+type Broadcaster struct {
+	n     live.AppNode
+	cfg   Config
+	self  ids.ProcID
+	stats Stats
+
+	installed  bool
+	ver        uint64 // current installed view version
+	members    []ids.ProcID
+	memberSet  ids.Set
+	seqID      ids.ProcID // the view's sequencer: its coordinator
+	isSeq      bool
+	synced     bool // this view's order is open (ViewSync processed/built)
+	everSynced bool // false until first sync: a joiner, needs a snapshot
+
+	// order state for the current view
+	next    uint64           // next order position to process
+	pending map[uint64]Entry // out-of-order entries (defensive; FIFO feeds us in order)
+	applied map[ids.ProcID]uint64
+	log     []Entry // retained entries above stable, ascending Seq
+	stable  uint64
+
+	// cross-view buffers
+	future  map[uint64][]futureMsg // ver → messages parked until that install
+	futureN int
+	preSync []futureMsg // current-view traffic arriving before sync (defensive)
+	pubHold []Pub       // pubs held while this node is the (un-synced) sequencer
+
+	// origin state
+	nextPub  uint64
+	inflight map[uint64]*pubState
+
+	// sequencer state
+	seqNext uint64
+	acks    map[ids.ProcID]uint64
+	flushes map[ids.ProcID]Flush
+}
+
+type futureMsg struct {
+	from    ids.ProcID
+	payload any
+}
+
+type pubState struct {
+	body []byte
+	done func(pubID uint64, err error)
+	seq  uint64 // slot in the current view's order; 0 = unassigned
+}
+
+// New builds a Broadcaster for one node. Use it from a live.AppHookFactory:
+//
+//	opts.App = func(n live.AppNode) live.AppHook {
+//		return broadcast.New(n, cfg)
+//	}
+func New(n live.AppNode, cfg Config) *Broadcaster {
+	if cfg.MaxBuffered <= 0 {
+		cfg.MaxBuffered = 4096
+	}
+	return &Broadcaster{
+		n:        n,
+		cfg:      cfg,
+		self:     n.ID(),
+		pending:  make(map[uint64]Entry),
+		applied:  make(map[ids.ProcID]uint64),
+		future:   make(map[uint64][]futureMsg),
+		inflight: make(map[uint64]*pubState),
+		acks:     make(map[ids.ProcID]uint64),
+		flushes:  make(map[ids.ProcID]Flush),
+	}
+}
+
+// Stats exposes the node's counters.
+func (b *Broadcaster) StatsRef() *Stats { return &b.stats }
+
+// Propose submits body for total-order delivery; safe from any
+// goroutine. done runs on the node's event loop once the outcome is
+// known: err == nil only after the message is *stable* — processed into
+// the order by every member of some installed view — which is the moment
+// no crash or view change can lose it (the bench acks clients here).
+// done never fires if the node itself dies; callers own that timeout.
+func (b *Broadcaster) Propose(body []byte, done func(pubID uint64, err error)) {
+	b.n.Run(func() {
+		b.nextPub++
+		id := b.nextPub
+		p := &pubState{body: body, done: done}
+		b.inflight[id] = p
+		if b.installed && b.synced {
+			b.sendPub(id, p)
+		}
+		// Not synced yet: afterSync's resubmission sweep picks it up.
+	})
+}
+
+func (b *Broadcaster) sendPub(id uint64, p *pubState) {
+	pub := Pub{Origin: b.self, PubID: id, Body: p.body}
+	if b.isSeq {
+		if b.synced {
+			b.sequence(pub)
+		} else {
+			b.pubHold = append(b.pubHold, pub)
+		}
+		return
+	}
+	b.n.Send(b.seqID, pub)
+}
+
+// --- live.AppHook ------------------------------------------------------------
+
+// HandleApp routes one received broadcast payload (event loop).
+func (b *Broadcaster) HandleApp(from ids.ProcID, payload any) {
+	switch m := payload.(type) {
+	case Pub:
+		b.onPub(m)
+	case Seqd:
+		if b.route(m.Ver, from, payload) {
+			b.onSeqd(m)
+		}
+	case AckSeq:
+		if b.route(m.Ver, from, payload) {
+			b.onAckSeq(from, m)
+		}
+	case Stable:
+		if b.route(m.Ver, from, payload) {
+			b.onStable(m)
+		}
+	case Flush:
+		if b.route(m.Ver, from, payload) {
+			b.onFlush(from, m)
+		}
+	case ViewSync:
+		if b.route(m.Ver, from, payload) {
+			b.onViewSync(m)
+		}
+	}
+}
+
+// route files a view-tagged payload: current view → handle now (true);
+// future view → park in the view-change buffer; past view → drop. The
+// buffer preserves arrival order per view, so per-channel FIFO survives
+// parking (a ViewSync always replays before the Seqds behind it).
+func (b *Broadcaster) route(ver uint64, from ids.ProcID, payload any) bool {
+	if b.installed && ver == b.ver {
+		return true
+	}
+	if !b.installed || ver > b.ver {
+		if b.futureN >= b.cfg.MaxBuffered {
+			b.stats.DroppedOverflow.Add(1)
+			return false
+		}
+		b.future[ver] = append(b.future[ver], futureMsg{from: from, payload: payload})
+		b.futureN++
+		b.stats.BufferedFuture.Add(1)
+		return false
+	}
+	b.stats.DroppedStale.Add(1)
+	return false
+}
+
+// HandleInstall opens a new view (event loop): reset per-view state,
+// offer this member's retained log to the new sequencer (the flush
+// barrier), and replay anything parked for this version.
+func (b *Broadcaster) HandleInstall(ver member.Version, members []ids.ProcID) {
+	v := uint64(ver)
+	b.installed = true
+	b.ver = v
+	b.members = append([]ids.ProcID(nil), members...)
+	b.memberSet = ids.NewSet(members...)
+	b.seqID = b.members[0]
+	b.isSeq = b.seqID == b.self
+	b.synced = false
+	b.pending = make(map[uint64]Entry)
+	b.preSync = nil
+	if !b.isSeq {
+		b.pubHold = nil // origins resubmit below; held pubs are stale
+	}
+	for _, p := range b.inflight {
+		p.seq = 0 // slots are per-view; the sync re-assigns or resubmits
+	}
+	b.acks = make(map[ids.ProcID]uint64)
+	b.flushes = make(map[ids.ProcID]Flush)
+
+	f := Flush{
+		Ver:     v,
+		Applied: b.appliedList(),
+		Tail:    append([]Entry(nil), b.log...),
+		Joining: !b.everSynced,
+	}
+	if b.isSeq {
+		b.onFlush(b.self, f)
+	} else {
+		b.n.Send(b.seqID, f)
+	}
+	b.drainFuture(v)
+}
+
+// drainFuture replays parked messages for every version ≤ v, in arrival
+// order; route re-files or drops them against the now-current view.
+func (b *Broadcaster) drainFuture(v uint64) {
+	vers := make([]uint64, 0, len(b.future))
+	for ver := range b.future {
+		if ver <= v {
+			vers = append(vers, ver)
+		}
+	}
+	sort.Slice(vers, func(i, j int) bool { return vers[i] < vers[j] })
+	for _, ver := range vers {
+		msgs := b.future[ver]
+		delete(b.future, ver)
+		b.futureN -= len(msgs)
+		for _, fm := range msgs {
+			b.HandleApp(fm.from, fm.payload)
+		}
+	}
+}
+
+// --- order processing --------------------------------------------------------
+
+func (b *Broadcaster) onSeqd(m Seqd) {
+	if !b.synced {
+		b.preSync = append(b.preSync, futureMsg{from: m.Origin, payload: m})
+		return
+	}
+	b.processEntry(Entry(m))
+	if !b.isSeq {
+		b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.next - 1})
+	}
+}
+
+// processEntry files one entry of the current view's order, applying the
+// contiguous prefix.
+func (b *Broadcaster) processEntry(en Entry) {
+	if en.Seq != b.next {
+		if en.Seq > b.next {
+			b.pending[en.Seq] = en
+		}
+		return
+	}
+	b.applyEntry(en)
+	for {
+		nxt, ok := b.pending[b.next]
+		if !ok {
+			return
+		}
+		delete(b.pending, b.next)
+		b.applyEntry(nxt)
+	}
+}
+
+// applyEntry processes order position en.Seq: it always joins the
+// retained log (it is part of the view's order whether or not this member
+// applies it), and reaches Deliver only if this origin frontier has not
+// seen it — the dedup that makes redelivery across view changes
+// exactly-once.
+func (b *Broadcaster) applyEntry(en Entry) {
+	b.next = en.Seq + 1
+	b.log = append(b.log, en)
+	b.stats.Processed.Add(1)
+	applied := en.PubID > b.applied[en.Origin]
+	m := Msg{Ver: member.Version(en.Ver), Seq: en.Seq, Origin: en.Origin, PubID: en.PubID, Body: en.Body}
+	if applied {
+		b.applied[en.Origin] = en.PubID
+		b.stats.Applied.Add(1)
+		if b.cfg.Deliver != nil {
+			b.cfg.Deliver(m)
+		}
+	}
+	if b.cfg.Observe != nil {
+		b.cfg.Observe(m, applied)
+	}
+	if en.Origin == b.self {
+		if p, ok := b.inflight[en.PubID]; ok {
+			p.seq = en.Seq
+		}
+	}
+}
+
+func (b *Broadcaster) onStable(m Stable) {
+	if !b.synced {
+		b.preSync = append(b.preSync, futureMsg{payload: m})
+		return
+	}
+	if m.Seq > b.stable {
+		b.setStable(m.Seq)
+	}
+}
+
+// setStable advances the stability frontier: prune the retained log and
+// complete the client acks that were waiting on durability.
+func (b *Broadcaster) setStable(s uint64) {
+	b.stable = s
+	i := 0
+	for i < len(b.log) && b.log[i].Seq <= s {
+		i++
+	}
+	b.log = append([]Entry(nil), b.log[i:]...)
+	for id, p := range b.inflight {
+		if p.seq != 0 && p.seq <= s {
+			delete(b.inflight, id)
+			if p.done != nil {
+				p.done(id, nil)
+			}
+		}
+	}
+}
+
+// --- sequencer ---------------------------------------------------------------
+
+func (b *Broadcaster) onPub(p Pub) {
+	if b.installed && b.isSeq && b.synced {
+		b.sequence(p)
+		return
+	}
+	// Hold: this node may be (or become) the sequencer mid-sync. Pubs
+	// held across a view change where it is not are discarded — origins
+	// resubmit on their own installs.
+	if len(b.pubHold) < b.cfg.MaxBuffered {
+		b.pubHold = append(b.pubHold, p)
+	} else {
+		b.stats.DroppedOverflow.Add(1)
+	}
+}
+
+// sequence assigns the next order slot to a fresh pub and fans it out.
+// The per-origin frontier is a complete duplicate filter: pubs arrive and
+// are re-submitted in PubID order, so each origin's sequenced set is
+// always a PubID prefix and one max suffices.
+func (b *Broadcaster) sequence(p Pub) {
+	if p.PubID <= b.applied[p.Origin] {
+		return // duplicate (resubmission raced the original)
+	}
+	en := Entry{Ver: b.ver, Seq: b.seqNext, Origin: p.Origin, PubID: p.PubID, Body: p.Body}
+	b.seqNext++
+	b.stats.Sequenced.Add(1)
+	for _, m := range b.members {
+		if m != b.self {
+			b.n.Send(m, Seqd(en))
+		}
+	}
+	b.processEntry(en)
+	b.noteAck(b.self, b.next-1)
+}
+
+func (b *Broadcaster) onAckSeq(from ids.ProcID, m AckSeq) {
+	if !b.isSeq || !b.synced || !b.memberSet.Has(from) {
+		return
+	}
+	b.noteAck(from, m.Seq)
+}
+
+func (b *Broadcaster) noteAck(from ids.ProcID, s uint64) {
+	if s > b.acks[from] {
+		b.acks[from] = s
+	}
+	b.advanceStable()
+}
+
+// advanceStable recomputes the stability frontier: the minimum contiguous
+// ack over every member of the view. Crossing it triggers the Stable
+// fan-out that lets everyone prune and ack.
+func (b *Broadcaster) advanceStable() {
+	min := ^uint64(0)
+	for _, m := range b.members {
+		if a := b.acks[m]; a < min {
+			min = a
+		}
+	}
+	if min == ^uint64(0) || min <= b.stable {
+		return
+	}
+	b.setStable(min)
+	for _, m := range b.members {
+		if m != b.self {
+			b.n.Send(m, Stable{Ver: b.ver, Seq: min})
+		}
+	}
+}
+
+// --- flush + state transfer --------------------------------------------------
+
+func (b *Broadcaster) onFlush(from ids.ProcID, f Flush) {
+	if !b.isSeq || b.synced || !b.memberSet.Has(from) {
+		return
+	}
+	b.flushes[from] = f
+	if len(b.flushes) == len(b.members) {
+		b.buildSync()
+	}
+}
+
+// buildSync is the sequencer's install step, run once every member's
+// flush is in: union the tails, re-sequence them as the new view's
+// opening order, adopt it locally, and fan out the ViewSync that opens
+// the view for everyone else.
+func (b *Broadcaster) buildSync() {
+	type key struct {
+		o  ids.ProcID
+		id uint64
+	}
+	floor := make(map[ids.ProcID]uint64)
+	best := make(map[key]Entry)
+	anyJoin := false
+	for _, f := range b.flushes {
+		if f.Joining {
+			anyJoin = true
+		}
+		for _, a := range f.Applied {
+			if a.Max > floor[a.Origin] {
+				floor[a.Origin] = a.Max
+			}
+		}
+		for _, en := range f.Tail {
+			k := key{en.Origin, en.PubID}
+			// Keep the occurrence sequenced latest: a member that synced
+			// a later view holds a superset of every earlier tail, and
+			// its ordering is the authoritative extension.
+			if cur, ok := best[k]; !ok || en.Ver > cur.Ver || (en.Ver == cur.Ver && en.Seq > cur.Seq) {
+				best[k] = en
+			}
+		}
+	}
+	ents := make([]Entry, 0, len(best))
+	for _, en := range best {
+		ents = append(ents, en)
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].Ver != ents[j].Ver {
+			return ents[i].Ver < ents[j].Ver
+		}
+		return ents[i].Seq < ents[j].Seq
+	})
+	order := make([]Entry, len(ents))
+	for i, en := range ents {
+		en.Ver, en.Seq = b.ver, uint64(i+1)
+		order[i] = en
+	}
+
+	// Adopt the order locally: catch up on whatever this node had not
+	// applied, then fold in the flushed frontiers (they only describe
+	// stable history every survivor — including this node — already holds).
+	b.next = 1
+	b.log = nil
+	b.stable = 0
+	b.pending = make(map[uint64]Entry)
+	b.synced = true
+	b.everSynced = true
+	b.stats.Syncs.Add(1)
+	for _, en := range order {
+		b.processEntry(en)
+	}
+	for o, mx := range floor {
+		if mx > b.applied[o] {
+			b.applied[o] = mx
+		}
+	}
+
+	vs := ViewSync{Ver: b.ver, Applied: b.appliedList(), Entries: order}
+	if anyJoin && b.cfg.Snapshot != nil {
+		vs.Snapshot = b.cfg.Snapshot()
+		vs.HasSnap = true
+	}
+	for _, m := range b.members {
+		if m != b.self {
+			b.n.Send(m, vs)
+		}
+	}
+	b.seqNext = uint64(len(order)) + 1
+	b.acks = map[ids.ProcID]uint64{b.self: b.next - 1}
+	b.afterSync()
+	b.advanceStable() // a single-member view is stable immediately
+}
+
+func (b *Broadcaster) onViewSync(m ViewSync) {
+	if b.isSeq || b.synced {
+		return
+	}
+	b.next = 1
+	b.log = nil
+	b.stable = 0
+	b.pending = make(map[uint64]Entry)
+	b.synced = true
+	wasJoiner := !b.everSynced
+	b.everSynced = true
+	b.stats.Syncs.Add(1)
+	if wasJoiner {
+		// The snapshot already contains every entry the frontiers cover,
+		// so adopting them first makes the replay below skip exactly the
+		// entries the snapshot holds.
+		if m.HasSnap && b.cfg.Restore != nil {
+			b.cfg.Restore(m.Snapshot)
+		}
+		b.applied = appliedMap(m.Applied)
+	}
+	for _, en := range m.Entries {
+		b.processEntry(en)
+	}
+	// Fold in the stable-history floor only AFTER replaying the order:
+	// merging first would mark the catch-up entries already-seen and a
+	// survivor would silently skip applying them.
+	for _, a := range m.Applied {
+		if a.Max > b.applied[a.Origin] {
+			b.applied[a.Origin] = a.Max
+		}
+	}
+	b.afterSync()
+	b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.next - 1})
+}
+
+// afterSync resolves this origin's in-flight pubs against the freshly
+// opened order: re-assigned ones wait for stability, stable-historical
+// ones complete now, lost ones resubmit — the at-least-once loop that,
+// with the sequencer's duplicate filter, yields exactly-once.
+func (b *Broadcaster) afterSync() {
+	ordered := make([]uint64, 0, len(b.inflight))
+	for id := range b.inflight {
+		ordered = append(ordered, id)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	selfFloor := b.applied[b.self]
+	for _, id := range ordered {
+		p := b.inflight[id]
+		switch {
+		case p.seq != 0:
+			// Carried into this view's order; completes at stability.
+		case id <= selfFloor:
+			// Below the applied floor yet absent from the order: it is
+			// stable history from an earlier view — already durable.
+			delete(b.inflight, id)
+			if p.done != nil {
+				p.done(id, nil)
+			}
+		default:
+			b.stats.Resubmits.Add(1)
+			b.sendPub(id, p)
+		}
+	}
+	if b.isSeq {
+		hold := b.pubHold
+		b.pubHold = nil
+		for _, p := range hold {
+			b.sequence(p)
+		}
+	}
+	pre := b.preSync
+	b.preSync = nil
+	for _, fm := range pre {
+		b.HandleApp(fm.from, fm.payload)
+	}
+}
+
+func (b *Broadcaster) appliedList() []Applied {
+	out := make([]Applied, 0, len(b.applied))
+	for o, mx := range b.applied {
+		out = append(out, Applied{Origin: o, Max: mx})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin.Less(out[j].Origin) })
+	return out
+}
+
+func appliedMap(list []Applied) map[ids.ProcID]uint64 {
+	m := make(map[ids.ProcID]uint64, len(list))
+	for _, a := range list {
+		if a.Max > m[a.Origin] {
+			m[a.Origin] = a.Max
+		}
+	}
+	return m
+}

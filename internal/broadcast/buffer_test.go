@@ -1,0 +1,276 @@
+package broadcast
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// fakeNode is a deterministic live.AppNode: sends are captured, Run is
+// synchronous, timers never fire. It drives one Broadcaster directly,
+// with the test playing the network.
+type fakeNode struct {
+	id   ids.ProcID
+	sent []fakeSend
+}
+
+type fakeSend struct {
+	to      ids.ProcID
+	payload any
+}
+
+func (f *fakeNode) ID() ids.ProcID { return f.id }
+func (f *fakeNode) Send(to ids.ProcID, payload any) {
+	f.sent = append(f.sent, fakeSend{to, payload})
+}
+func (f *fakeNode) Run(fn func())                      { fn() }
+func (f *fakeNode) After(time.Duration, func()) func() { return func() {} }
+func (f *fakeNode) takeSent() []fakeSend               { s := f.sent; f.sent = nil; return s }
+func proc(s string) ids.ProcID                         { return ids.Named(s) }
+
+func entry(ver, seq uint64, origin ids.ProcID, pubID uint64) Entry {
+	return Entry{Ver: ver, Seq: seq, Origin: origin, PubID: pubID, Body: []byte{byte(pubID)}}
+}
+
+func TestFutureViewBufferReplaysInOrder(t *testing.T) {
+	fn := &fakeNode{id: proc("p2")}
+	var got []Msg
+	b := New(fn, Config{Deliver: func(m Msg) { got = append(got, m) }})
+	seq, self := proc("p1"), proc("p2")
+	members := []ids.ProcID{seq, self}
+
+	b.HandleInstall(0, members)
+	sent := fn.takeSent()
+	if len(sent) != 1 {
+		t.Fatalf("install should flush to the sequencer, sent %v", sent)
+	}
+	if f, ok := sent[0].payload.(Flush); !ok || sent[0].to != seq || !f.Joining {
+		t.Fatalf("expected joining Flush to %v, got %+v", seq, sent[0])
+	}
+	b.HandleApp(seq, ViewSync{Ver: 0, HasSnap: true})
+
+	px := proc("p9")
+	// Traffic for view 2, which this member has not installed: the whole
+	// tail must park in the view-change buffer, per-channel order intact.
+	b.HandleApp(seq, ViewSync{Ver: 2, Entries: []Entry{entry(2, 1, px, 1), entry(2, 2, px, 2)}})
+	b.HandleApp(seq, Seqd(entry(2, 3, px, 3)))
+	b.HandleApp(seq, Seqd(entry(2, 4, px, 4)))
+	if n := b.stats.BufferedFuture.Load(); n != 3 {
+		t.Fatalf("BufferedFuture = %d, want 3", n)
+	}
+	if len(got) != 0 {
+		t.Fatalf("future traffic delivered early: %v", got)
+	}
+
+	// Current-view traffic still flows around the parked tail.
+	py := proc("p8")
+	b.HandleApp(seq, Seqd(entry(0, 1, py, 1)))
+	if len(got) != 1 || got[0].Origin != py {
+		t.Fatalf("current-view Seqd not delivered, got %v", got)
+	}
+
+	// Installing view 1 must not leak view-2 traffic...
+	b.HandleInstall(1, members)
+	if len(got) != 1 {
+		t.Fatalf("view-2 traffic replayed at view 1: %v", got)
+	}
+	// ...installing view 2 replays it: ViewSync first (it arrived first),
+	// then the Seqds behind it, delivering px 1..4 in order.
+	b.HandleInstall(2, members)
+	if len(got) != 5 {
+		t.Fatalf("replay delivered %d messages, want 5: %v", len(got), got)
+	}
+	for i, m := range got[1:] {
+		if m.Origin != px || m.PubID != uint64(i+1) || m.Ver != member.Version(2) {
+			t.Fatalf("replayed message %d = %+v, want px/%d in view 2", i, m, i+1)
+		}
+	}
+}
+
+func TestStaleViewTrafficDropped(t *testing.T) {
+	fn := &fakeNode{id: proc("p2")}
+	var got []Msg
+	b := New(fn, Config{Deliver: func(m Msg) { got = append(got, m) }})
+	seq := proc("p1")
+	members := []ids.ProcID{seq, proc("p2")}
+	b.HandleInstall(3, members)
+	b.HandleApp(seq, ViewSync{Ver: 3, HasSnap: true})
+
+	px := proc("p9")
+	b.HandleApp(seq, Seqd(entry(1, 1, px, 1)))
+	b.HandleApp(seq, Stable{Ver: 2, Seq: 5})
+	b.HandleApp(seq, ViewSync{Ver: 1})
+	if n := b.stats.DroppedStale.Load(); n != 3 {
+		t.Fatalf("DroppedStale = %d, want 3", n)
+	}
+	if len(got) != 0 {
+		t.Fatalf("stale traffic delivered: %v", got)
+	}
+}
+
+func TestFutureBufferOverflowCapped(t *testing.T) {
+	fn := &fakeNode{id: proc("p2")}
+	b := New(fn, Config{MaxBuffered: 8})
+	seq := proc("p1")
+	b.HandleInstall(0, []ids.ProcID{seq, proc("p2")})
+	px := proc("p9")
+	for i := 0; i < 20; i++ {
+		b.HandleApp(seq, Seqd(entry(5, uint64(i+1), px, uint64(i+1))))
+	}
+	if n := b.stats.BufferedFuture.Load(); n != 8 {
+		t.Fatalf("BufferedFuture = %d, want cap 8", n)
+	}
+	if n := b.stats.DroppedOverflow.Load(); n != 12 {
+		t.Fatalf("DroppedOverflow = %d, want 12", n)
+	}
+}
+
+func TestSkippedInstallDropsIntermediateBuffer(t *testing.T) {
+	// A reconfiguration can batch several ops into one install, so a
+	// member may never install some intermediate version: anything parked
+	// for it must drain as stale, not replay into the wrong view.
+	fn := &fakeNode{id: proc("p2")}
+	var got []Msg
+	b := New(fn, Config{Deliver: func(m Msg) { got = append(got, m) }})
+	seq := proc("p1")
+	members := []ids.ProcID{seq, proc("p2")}
+	b.HandleInstall(0, members)
+	b.HandleApp(seq, ViewSync{Ver: 0, HasSnap: true})
+
+	px := proc("p9")
+	b.HandleApp(seq, Seqd(entry(1, 1, px, 1)))                               // for skipped view 1
+	b.HandleApp(seq, ViewSync{Ver: 3, Entries: []Entry{entry(3, 1, px, 7)}}) // for view 3
+	b.HandleInstall(3, members)
+	if n := b.stats.DroppedStale.Load(); n != 1 {
+		t.Fatalf("DroppedStale = %d, want 1 (the view-1 Seqd)", n)
+	}
+	if len(got) != 1 || got[0].PubID != 7 {
+		t.Fatalf("view-3 replay delivered %v, want exactly px/7", got)
+	}
+}
+
+// TestFutureBufferProperty is the randomized property test: traffic for
+// several not-yet-installed views arrives in an arbitrary interleaving
+// (per-view channel order preserved, as FIFO channels guarantee); after
+// the installs land in version order, every view's messages must have
+// been delivered exactly once, in per-view sequence order, with nothing
+// delivered before its install.
+func TestFutureBufferProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fn := &fakeNode{id: proc("p2")}
+		var got []Msg
+		b := New(fn, Config{Deliver: func(m Msg) { got = append(got, m) }, MaxBuffered: 1 << 14})
+		seq := proc("p1")
+		members := []ids.ProcID{seq, proc("p2")}
+		b.HandleInstall(0, members)
+		b.HandleApp(seq, ViewSync{Ver: 0, HasSnap: true})
+
+		px := proc("p9")
+		nViews := 2 + rng.Intn(4)
+		scripts := make([][]any, nViews) // per-view message queue, FIFO
+		var want []uint64                // pubIDs in expected delivery order
+		pub := uint64(0)
+		for v := 0; v < nViews; v++ {
+			ver := uint64(v + 1)
+			nmsg := 1 + rng.Intn(5)
+			var ents []Entry
+			var script []any
+			seqNo := uint64(0)
+			// The view opens with its ViewSync carrying a random prefix
+			// of its entries; the rest follow as Seqds.
+			nSync := rng.Intn(nmsg + 1)
+			for i := 0; i < nmsg; i++ {
+				pub++
+				seqNo++
+				e := entry(ver, seqNo, px, pub)
+				want = append(want, pub)
+				if i < nSync {
+					ents = append(ents, e)
+				} else {
+					script = append(script, Seqd(e))
+				}
+			}
+			scripts[v] = append([]any{ViewSync{Ver: ver, Entries: ents}}, script...)
+		}
+
+		// Random fair interleaving across views, order within preserved.
+		for {
+			live := make([]int, 0, nViews)
+			for v, s := range scripts {
+				if len(s) > 0 {
+					live = append(live, v)
+				}
+			}
+			if len(live) == 0 {
+				break
+			}
+			v := live[rng.Intn(len(live))]
+			b.HandleApp(seq, scripts[v][0])
+			scripts[v] = scripts[v][1:]
+		}
+		if len(got) != 0 {
+			t.Fatalf("seed %d: %d messages delivered before their views installed", seed, len(got))
+		}
+
+		for v := 1; v <= nViews; v++ {
+			b.HandleInstall(member.Version(v), members)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: delivered %d messages, want %d", seed, len(got), len(want))
+		}
+		for i, m := range got {
+			if m.PubID != want[i] {
+				t.Fatalf("seed %d: delivery %d = pub %d, want %d", seed, i, m.PubID, want[i])
+			}
+		}
+		seen := make(map[uint64]bool)
+		for _, m := range got {
+			if seen[m.PubID] {
+				t.Fatalf("seed %d: pub %d delivered twice", seed, m.PubID)
+			}
+			seen[m.PubID] = true
+		}
+	}
+}
+
+func TestProposeBeforeFirstInstallIsHeldThenSent(t *testing.T) {
+	fn := &fakeNode{id: proc("p2")}
+	b := New(fn, Config{})
+	seq := proc("p1")
+	done := 0
+	b.Propose([]byte("x"), func(uint64, error) { done++ })
+	if len(fn.takeSent()) != 0 {
+		t.Fatal("pub escaped before any view installed")
+	}
+	b.HandleInstall(0, []ids.ProcID{seq, proc("p2")})
+	fn.takeSent() // the flush
+	b.HandleApp(seq, ViewSync{Ver: 0, HasSnap: true})
+	var pubs int
+	for _, s := range fn.takeSent() {
+		if p, ok := s.payload.(Pub); ok {
+			pubs++
+			if s.to != seq || p.PubID != 1 {
+				t.Fatalf("pub resubmitted wrong: %+v", s)
+			}
+		}
+	}
+	if pubs != 1 {
+		t.Fatalf("held proposal sent %d times after sync, want 1", pubs)
+	}
+	if done != 0 {
+		t.Fatal("proposal acked without stability")
+	}
+	// Sequence comes back, then stability: the ack fires only at Stable.
+	b.HandleApp(seq, Seqd(entry(0, 1, proc("p2"), 1)))
+	if done != 0 {
+		t.Fatal("proposal acked at delivery; stability is the contract")
+	}
+	b.HandleApp(seq, Stable{Ver: 0, Seq: 1})
+	if done != 1 {
+		t.Fatalf("proposal not acked at stability (done=%d)", done)
+	}
+}

@@ -1,0 +1,145 @@
+package broadcast
+
+import (
+	"reflect"
+	"testing"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/transport"
+)
+
+// wirePayloads covers the whole broadcast vocabulary (kinds 18–23), with
+// populated and zero-valued fields.
+func wirePayloads() []any {
+	px := ids.ProcID{Site: "p3", Incarnation: 2}
+	return []any{
+		Pub{Origin: px, PubID: 7, Body: []byte("set k v")},
+		Pub{Origin: ids.Named("p1")}, // zero PubID, nil body
+		Seqd{Ver: 3, Seq: 12, Origin: px, PubID: 7, Body: []byte("set k v")},
+		AckSeq{Ver: 3, Seq: 12},
+		AckSeq{},
+		Stable{Ver: 3, Seq: 9},
+		Flush{
+			Ver:     4,
+			Applied: []Applied{{Origin: px, Max: 7}, {Origin: ids.Named("p1"), Max: 2}},
+			Tail:    []Entry{{Ver: 3, Seq: 10, Origin: px, PubID: 6, Body: []byte("x")}},
+			Joining: true,
+		},
+		Flush{Ver: 4}, // empty tail, no frontiers
+		ViewSync{
+			Ver:      4,
+			Applied:  []Applied{{Origin: px, Max: 7}},
+			Entries:  []Entry{{Ver: 4, Seq: 1, Origin: px, PubID: 7, Body: []byte("set k v")}},
+			Snapshot: []byte{1, 2, 3},
+			HasSnap:  true,
+		},
+		ViewSync{Ver: 5},
+	}
+}
+
+// TestBroadcastWireRoundTrip: every broadcast payload travels the binary
+// fast path (no gob fallback) and round-trips structurally intact.
+func TestBroadcastWireRoundTrip(t *testing.T) {
+	for _, payload := range wirePayloads() {
+		in := transport.Frame{From: "p1", To: "p3#2", Seq: 5, MsgID: 0, Body: payload}
+		blob, err := transport.EncodeFrame(in)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", payload, err)
+		}
+		if blob[0] == 0 {
+			t.Errorf("%T: fell back to the gob escape hatch; broadcast payloads must have binary codecs", payload)
+		}
+		out, err := transport.DecodeFrame(blob)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", payload, err)
+		}
+		if !wireEqual(in, out) {
+			t.Errorf("%T: round trip\n in: %#v\nout: %#v", payload, in, out)
+		}
+	}
+}
+
+// TestBroadcastWireRoundTripGob: the kind-0 escape hatch carries the same
+// vocabulary (transports without the binary fast path stay compatible).
+func TestBroadcastWireRoundTripGob(t *testing.T) {
+	for _, payload := range wirePayloads() {
+		in := transport.Frame{From: "p1", To: "p2", Seq: 1, MsgID: 0, Body: payload}
+		blob, err := transport.EncodeFrameGob(in)
+		if err != nil {
+			t.Fatalf("%T: gob encode: %v", payload, err)
+		}
+		out, err := transport.DecodeFrame(blob)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", payload, err)
+		}
+		if !wireEqual(in, out) {
+			t.Errorf("%T: gob round trip\n in: %#v\nout: %#v", payload, in, out)
+		}
+	}
+}
+
+// wireEqual compares frames treating nil and empty slices as equal: the
+// binary codec does not distinguish them (a zero-length blob decodes nil),
+// and no consumer does either.
+func wireEqual(a, b transport.Frame) bool {
+	return reflect.DeepEqual(normalize(a), normalize(b))
+}
+
+func normalize(f transport.Frame) transport.Frame {
+	switch v := f.Body.(type) {
+	case Pub:
+		v.Body = unempty(v.Body)
+		f.Body = v
+	case Seqd:
+		v.Body = unempty(v.Body)
+		f.Body = v
+	case Flush:
+		if len(v.Applied) == 0 {
+			v.Applied = nil
+		}
+		if len(v.Tail) == 0 {
+			v.Tail = nil
+		}
+		f.Body = v
+	case ViewSync:
+		if len(v.Applied) == 0 {
+			v.Applied = nil
+		}
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
+		v.Snapshot = unempty(v.Snapshot)
+		f.Body = v
+	}
+	return f
+}
+
+func unempty(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+// TestBroadcastWireRejectsCorruption: truncating a Flush (the widest
+// payload) at every byte must error or truncate cleanly, never panic.
+func TestBroadcastWireRejectsCorruption(t *testing.T) {
+	px := ids.ProcID{Site: "p3", Incarnation: 2}
+	blob, err := transport.EncodeFrame(transport.Frame{From: "p1", To: "p2", Seq: 1, Body: Flush{
+		Ver:     4,
+		Applied: []Applied{{Origin: px, Max: 7}},
+		Tail:    []Entry{{Ver: 3, Seq: 10, Origin: px, PubID: 6, Body: []byte("x")}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := transport.DecodeFrame(blob[:n]); err == nil {
+			t.Errorf("truncation to %d bytes decoded without error", n)
+		}
+	}
+	// A hostile slice count must not force a huge allocation or panic.
+	corrupt := append([]byte{}, blob...)
+	corrupt[len(corrupt)-1] = 0xff
+	transport.DecodeFrame(corrupt)
+}

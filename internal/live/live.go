@@ -80,6 +80,12 @@ type Options struct {
 	UpdateBuffer int
 	// Digests selects suspicion-digest dissemination (see DigestMode).
 	Digests DigestMode
+	// App, when set, attaches an application layer to every node: the
+	// factory runs once per spawned process (before its loop starts) and
+	// the resulting AppHook receives AppTraffic payloads and view
+	// installs on the node's event loop. This is how a broadcast or
+	// replication layer rides the group — see internal/broadcast.
+	App AppHookFactory
 	// Self, when set, puts the cluster in single-member mode for
 	// multi-process deployments: Start spawns exactly this process (N is
 	// ignored) and does NOT bootstrap it — the process first needs its
@@ -188,6 +194,7 @@ type liveNode struct {
 	det        fd.Detector              // failure-detection policy (F1 input)
 	lastSent   map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
 	lastBeat   time.Time                // previous liveness-wheel pass (stall guard)
+	app        AppHook                  // application layer (Options.App), nil when unset
 }
 
 // wheelEntry is one member's role in a node's liveness wheel.
@@ -339,6 +346,11 @@ func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 	if err := c.tr.Register(p, ln.deliver); err != nil {
 		return nil
 	}
+	if c.opts.App != nil {
+		// After Register (the hook may send immediately) and before the
+		// loop starts (so it observes every install from the first).
+		ln.app = c.opts.App((*appNode)(ln))
+	}
 	c.nodes[p] = ln
 	c.rec.RecordStart(p)
 	c.wg.Add(1)
@@ -407,6 +419,14 @@ func (ln *liveNode) dispatch(e envelope) {
 			ln.det.ObserveBeacon(e.from, time.Now())
 		}
 		ln.absorbDigest(dg)
+		return
+	}
+	if _, isApp := e.payload.(AppTraffic); isApp {
+		// Application traffic: routed to the hook, never to the protocol,
+		// and — like SubstrateTraffic — never to the detector.
+		if ln.app != nil {
+			ln.app.HandleApp(e.from, e.payload)
+		}
 		return
 	}
 	if _, sub := e.payload.(SubstrateTraffic); sub {
@@ -651,6 +671,11 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 		}
 	}
 	ln.c.rec.RecordInstall(ln.id, ver, members)
+	if ln.app != nil {
+		// The app layer hears about the install after the runtime's own
+		// state is refreshed, so anything it sends rides the new wheel.
+		ln.app.HandleInstall(ver, members)
+	}
 	upd := ViewUpdate{Proc: ln.id, Ver: ver, Members: members}
 	select {
 	case ln.c.updates <- upd:

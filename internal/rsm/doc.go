@@ -1,0 +1,20 @@
+// Package rsm turns the broadcast layer's totally-ordered delivery into
+// a replicated state machine: every group member hosts a Node that
+// applies the same command sequence to a deterministic StateMachine, so
+// any member accepts writes and all members converge on the same state.
+//
+// A proposal is acknowledged only at *stability* — once every member of
+// an installed view has processed it into the order — which is the
+// paper-side moment after which no crash or view change can lose it.
+// Joiners catch up by snapshot (StateMachine.Snapshot/Restore riding the
+// broadcast layer's ViewSync), so the group serves a working set far
+// larger than any single view change could replay.
+//
+// The package also carries the certification battery the benchmark and
+// tests run: a Recorder that captures each replica's processed order,
+// CheckTotalOrder (exactly-once, pairwise prefix consistency, agreement
+// among survivors, per-view slot agreement) and CheckKVLinearizable
+// (acked-durability, real-time order, read-your-writes against a replay
+// of the order) — the replication analogue of the GMP property checker,
+// run beside it over the same traces.
+package rsm

@@ -1,0 +1,315 @@
+package rsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"procgroup/internal/broadcast"
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// Record is one order position as one replica processed it. (Origin,
+// PubID) is the command's global identity; (Ver, Seq) the slot it held at
+// this replica — a command redelivered by state transfer appears under
+// the new view's slot at replicas that caught up there. Applied is false
+// when the replica recognized the command as already applied and skipped
+// it (the exactly-once dedup).
+type Record struct {
+	Ver     member.Version
+	Seq     uint64
+	Origin  ids.ProcID
+	PubID   uint64
+	Body    []byte
+	Applied bool
+}
+
+// CmdID is a command's global identity across views and replicas.
+type CmdID struct {
+	Origin ids.ProcID
+	PubID  uint64
+}
+
+func (r Record) id() CmdID { return CmdID{r.Origin, r.PubID} }
+
+// Recorder captures, per replica, every order position processed — the
+// raw material of the total-order checker. Safe for concurrent use (each
+// replica's event loop appends to its own slice under the lock).
+type Recorder struct {
+	mu  sync.Mutex
+	seq map[ids.ProcID][]Record
+}
+
+// NewRecorder builds an empty recorder shared by a group's replicas.
+func NewRecorder() *Recorder {
+	return &Recorder{seq: make(map[ids.ProcID][]Record)}
+}
+
+func (r *Recorder) observe(replica ids.ProcID, m broadcast.Msg, applied bool) {
+	rec := Record{
+		Ver: m.Ver, Seq: m.Seq,
+		Origin: m.Origin, PubID: m.PubID,
+		Body:    append([]byte(nil), m.Body...),
+		Applied: applied,
+	}
+	r.mu.Lock()
+	r.seq[replica] = append(r.seq[replica], rec)
+	r.mu.Unlock()
+}
+
+// Sequences returns a deep-enough copy of every replica's processed
+// order (records are value types; bodies are shared, treated read-only).
+func (r *Recorder) Sequences() map[ids.ProcID][]Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ids.ProcID][]Record, len(r.seq))
+	for p, s := range r.seq {
+		out[p] = append([]Record(nil), s...)
+	}
+	return out
+}
+
+// AppliedOf filters one replica's records down to its applied sequence.
+func AppliedOf(recs []Record) []Record {
+	out := make([]Record, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Applied {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// CheckTotalOrder is the broadcast layer's certification: given every
+// replica's processed order and the set of replicas alive (and quiesced)
+// at the end of the run, it verifies
+//
+//  1. exactly-once — no replica applied the same (Origin, PubID) twice;
+//  2. total order — all replicas' applied sequences are pairwise
+//     consistent under alignment: a replica that joined mid-run applies
+//     a suffix of the global order (its snapshot absorbed the prefix),
+//     so each pair is aligned at their first shared command and must
+//     agree on the whole overlap — no two replicas ever apply the same
+//     pair of commands in opposite orders;
+//  3. agreement — replicas alive at the end converged on the same final
+//     command (with 2, their overlapping histories are identical);
+//  4. per-view order — within each view version, every replica processed
+//     slots contiguously from 1, and any two replicas that both
+//     processed a slot of that view saw the same command in it.
+//
+// A nil error is the "identical per-view command sequences, no divergence
+// anywhere" verdict the bench report quotes.
+func CheckTotalOrder(seqs map[ids.ProcID][]Record, alive []ids.ProcID) error {
+	replicas := make([]ids.ProcID, 0, len(seqs))
+	for p := range seqs {
+		replicas = append(replicas, p)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i].Less(replicas[j]) })
+
+	applied := make(map[ids.ProcID][]Record, len(seqs))
+	index := make(map[ids.ProcID]map[CmdID]int, len(seqs))
+	for _, p := range replicas {
+		a := AppliedOf(seqs[p])
+		idx := make(map[CmdID]int, len(a))
+		for i, rec := range a {
+			if _, dup := idx[rec.id()]; dup {
+				return fmt.Errorf("replica %v applied %v/%d twice", p, rec.Origin, rec.PubID)
+			}
+			idx[rec.id()] = i
+		}
+		applied[p], index[p] = a, idx
+	}
+
+	for i, p := range replicas {
+		for _, q := range replicas[i+1:] {
+			a, b := applied[p], applied[q]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			// Align q's sequence inside p's at their first shared
+			// command; disjoint histories (p crashed before q joined)
+			// have nothing to agree on.
+			off, found := -1, false
+			for j, rec := range b {
+				if k, ok := index[p][rec.id()]; ok {
+					off, found = k-j, true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+			for j, rec := range b {
+				k := off + j
+				if k < 0 || k >= len(a) {
+					continue
+				}
+				if a[k].id() != rec.id() {
+					return fmt.Errorf("order divergence: %v applied %v/%d at aligned position %d where %v applied %v/%d",
+						q, rec.Origin, rec.PubID, k, p, a[k].Origin, a[k].PubID)
+				}
+			}
+		}
+	}
+
+	var last CmdID
+	haveLast := false
+	for _, p := range alive {
+		a, ok := applied[p]
+		if !ok || len(a) == 0 {
+			continue // a replica that applied nothing constrains nothing
+		}
+		end := a[len(a)-1].id()
+		if !haveLast {
+			last, haveLast = end, true
+			continue
+		}
+		if end != last {
+			return fmt.Errorf("alive replicas diverge at the end: %v finished at %v/%d, others at %v/%d",
+				p, end.Origin, end.PubID, last.Origin, last.PubID)
+		}
+	}
+
+	// Per-view slot agreement: slot → command, and contiguity per replica.
+	type slot struct {
+		ver member.Version
+		seq uint64
+	}
+	owner := make(map[slot]CmdID)
+	for _, p := range replicas {
+		next := make(map[member.Version]uint64)
+		for _, rec := range seqs[p] {
+			if want, ok := next[rec.Ver]; ok {
+				if rec.Seq != want {
+					return fmt.Errorf("replica %v processed view %d slot %d after slot %d (non-contiguous)",
+						p, rec.Ver, rec.Seq, want-1)
+				}
+			} else if rec.Seq != 1 {
+				return fmt.Errorf("replica %v entered view %d at slot %d, not 1", p, rec.Ver, rec.Seq)
+			}
+			next[rec.Ver] = rec.Seq + 1
+			s := slot{rec.Ver, rec.Seq}
+			if id, ok := owner[s]; ok {
+				if id != rec.id() {
+					return fmt.Errorf("view %d slot %d holds %v/%d at one replica and %v/%d at %v",
+						rec.Ver, rec.Seq, id.Origin, id.PubID, rec.Origin, rec.PubID, p)
+				}
+			} else {
+				owner[s] = rec.id()
+			}
+		}
+	}
+	return nil
+}
+
+// LongestApplied returns the longest applied sequence among the given
+// replicas — under a passing CheckTotalOrder it is *the* total order,
+// every other replica's applied sequence being a prefix of it.
+func LongestApplied(seqs map[ids.ProcID][]Record) []Record {
+	var best []Record
+	var bestID ids.ProcID
+	first := true
+	for p, s := range seqs {
+		a := AppliedOf(s)
+		if first || len(a) > len(best) || (len(a) == len(best) && p.Less(bestID)) {
+			best, bestID, first = a, p, false
+		}
+	}
+	return best
+}
+
+// ClientOp is one client-side operation of the KV workload, as the bench
+// or test harness recorded it: what was asked, what came back, and when.
+// Acked ops carry the (Origin, PubID) identity Propose returned.
+type ClientOp struct {
+	Write    bool
+	Key      string
+	Val      string // write: value written; read: value returned
+	Origin   ids.ProcID
+	PubID    uint64
+	Invoke   int64 // ns on the harness clock
+	Complete int64
+	Acked    bool
+}
+
+// CheckKVLinearizable verifies the KV workload's client-visible story
+// against the applied total order:
+//
+//  1. durability — every acked op appears in the order exactly once
+//     (zero acked-write loss);
+//  2. real time — if op A completed before op B was invoked, A precedes
+//     B in the order (no acked write reordered behind a later op, no
+//     stale read after an ack);
+//  3. read values — replaying the order's commands through a fresh KV,
+//     every acked read returned exactly the replayed state of its key at
+//     its own order position.
+//
+// Together with CheckTotalOrder (one agreed order) this is
+// linearizability of the acked history: the order is a legal sequential
+// KV execution consistent with real time.
+func CheckKVLinearizable(ops []ClientOp, order []Record) error {
+	pos := make(map[CmdID]int, len(order))
+	for i, rec := range order {
+		pos[rec.id()] = i
+	}
+
+	acked := make([]ClientOp, 0, len(ops))
+	for _, op := range ops {
+		if op.Acked {
+			acked = append(acked, op)
+		}
+	}
+	seen := make(map[CmdID]bool, len(acked))
+	for _, op := range acked {
+		id := CmdID{op.Origin, op.PubID}
+		if seen[id] {
+			return fmt.Errorf("acked op %v/%d recorded twice by the harness", op.Origin, op.PubID)
+		}
+		seen[id] = true
+		if _, ok := pos[id]; !ok {
+			return fmt.Errorf("ACKED OP LOST: %v/%d (key %q) acked but absent from the applied order",
+				op.Origin, op.PubID, op.Key)
+		}
+	}
+
+	// Real-time order: walk acked ops by completion time, tracking the
+	// max order position among ops completed so far; any later-invoked op
+	// must land strictly after all of them.
+	byComplete := append([]ClientOp(nil), acked...)
+	sort.Slice(byComplete, func(i, j int) bool { return byComplete[i].Complete < byComplete[j].Complete })
+	byInvoke := append([]ClientOp(nil), acked...)
+	sort.Slice(byInvoke, func(i, j int) bool { return byInvoke[i].Invoke < byInvoke[j].Invoke })
+	maxPos, ci := -1, 0
+	for _, op := range byInvoke {
+		for ci < len(byComplete) && byComplete[ci].Complete < op.Invoke {
+			if p := pos[CmdID{byComplete[ci].Origin, byComplete[ci].PubID}]; p > maxPos {
+				maxPos = p
+			}
+			ci++
+		}
+		if p := pos[CmdID{op.Origin, op.PubID}]; p <= maxPos && maxPos >= 0 {
+			return fmt.Errorf("real-time violation: op %v/%d (key %q) invoked after an op that completed earlier yet ordered at %d ≤ %d",
+				op.Origin, op.PubID, op.Key, p, maxPos)
+		}
+	}
+
+	// Read values: replay the order and compare acked reads.
+	vals := make(map[CmdID]ClientOp, len(acked))
+	for _, op := range acked {
+		vals[CmdID{op.Origin, op.PubID}] = op
+	}
+	kv := NewKV()
+	for _, rec := range order {
+		out := kv.Apply(rec.Body)
+		op, ok := vals[rec.id()]
+		if !ok || op.Write {
+			continue
+		}
+		if got := string(out); got != op.Val {
+			return fmt.Errorf("STALE READ: %v/%d read key %q as %q but the order says %q at its position",
+				op.Origin, op.PubID, op.Key, op.Val, got)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package rsm
+
+import (
+	"strings"
+	"testing"
+
+	"procgroup/internal/ids"
+	"procgroup/internal/member"
+)
+
+// The checkers are the certification; these tests prove they actually
+// catch each class of violation (a checker that always passes certifies
+// nothing).
+
+func rec(ver member.Version, seq uint64, origin ids.ProcID, pubID uint64, applied bool) Record {
+	return Record{Ver: ver, Seq: seq, Origin: origin, PubID: pubID, Body: EncodePut("k", "v"), Applied: applied}
+}
+
+func TestCheckTotalOrderAcceptsCleanHistories(t *testing.T) {
+	p1, p2, p9 := ids.Named("p1"), ids.Named("p2"), ids.Named("p9")
+	full := []Record{
+		rec(0, 1, p1, 1, true),
+		rec(0, 2, p2, 1, true),
+		rec(1, 1, p1, 2, true),
+	}
+	// p9 joined at view 1: its applied history is a suffix of the global
+	// order, and the view-1 entry it replayed holds the same slot.
+	joiner := []Record{rec(1, 1, p1, 2, true)}
+	seqs := map[ids.ProcID][]Record{p1: full, p2: full, p9: joiner}
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p1, p2, p9}); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+}
+
+func TestCheckTotalOrderCatchesDuplicateApply(t *testing.T) {
+	p1 := ids.Named("p1")
+	seqs := map[ids.ProcID][]Record{p1: {
+		rec(0, 1, p1, 1, true),
+		rec(1, 1, p1, 1, true), // same (origin, pubID) applied again post view change
+	}}
+	err := CheckTotalOrder(seqs, []ids.ProcID{p1})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate apply not caught: %v", err)
+	}
+}
+
+func TestCheckTotalOrderCatchesDivergence(t *testing.T) {
+	p1, p2 := ids.Named("p1"), ids.Named("p2")
+	seqs := map[ids.ProcID][]Record{
+		p1: {rec(0, 1, p1, 1, true), rec(0, 2, p2, 1, true)},
+		p2: {rec(0, 1, p2, 1, true), rec(0, 2, p1, 1, true)}, // opposite order
+	}
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p1, p2}); err == nil {
+		t.Fatal("opposite apply orders not caught")
+	}
+}
+
+func TestCheckTotalOrderCatchesEndDisagreement(t *testing.T) {
+	p1, p2 := ids.Named("p1"), ids.Named("p2")
+	seqs := map[ids.ProcID][]Record{
+		p1: {rec(0, 1, p1, 1, true), rec(0, 2, p2, 1, true)},
+		p2: {rec(0, 1, p1, 1, true)}, // alive but stopped short
+	}
+	err := CheckTotalOrder(seqs, []ids.ProcID{p1, p2})
+	if err == nil || !strings.Contains(err.Error(), "diverge at the end") {
+		t.Fatalf("end disagreement not caught: %v", err)
+	}
+	// The same gap is fine when the short replica is dead.
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p1}); err != nil {
+		t.Fatalf("dead replica's short history rejected: %v", err)
+	}
+}
+
+func TestCheckTotalOrderCatchesSlotConflict(t *testing.T) {
+	p1, p2 := ids.Named("p1"), ids.Named("p2")
+	// Disjoint applied histories (alignment skips them), but the two
+	// replicas disagree about what view 0 slot 1 held.
+	seqs := map[ids.ProcID][]Record{
+		p1: {rec(0, 1, p1, 1, true)},
+		p2: {rec(0, 1, p2, 5, true)},
+	}
+	err := CheckTotalOrder(seqs, nil)
+	if err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Fatalf("slot conflict not caught: %v", err)
+	}
+}
+
+func TestCheckTotalOrderCatchesSlotGap(t *testing.T) {
+	p1 := ids.Named("p1")
+	seqs := map[ids.ProcID][]Record{p1: {
+		rec(0, 1, p1, 1, true),
+		rec(0, 3, p1, 2, true), // slot 2 never processed
+	}}
+	err := CheckTotalOrder(seqs, []ids.ProcID{p1})
+	if err == nil || !strings.Contains(err.Error(), "non-contiguous") {
+		t.Fatalf("slot gap not caught: %v", err)
+	}
+	// Entering a view above slot 1 is the same defect at the boundary.
+	seqs = map[ids.ProcID][]Record{p1: {rec(2, 4, p1, 1, true)}}
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p1}); err == nil {
+		t.Fatal("view entered mid-order not caught")
+	}
+}
+
+func op(origin ids.ProcID, pubID uint64, write bool, key, val string, invoke, complete int64) ClientOp {
+	return ClientOp{
+		Write: write, Key: key, Val: val,
+		Origin: origin, PubID: pubID,
+		Invoke: invoke, Complete: complete, Acked: true,
+	}
+}
+
+func orderOf(ops ...ClientOp) []Record {
+	out := make([]Record, 0, len(ops))
+	for i, o := range ops {
+		body := EncodeGet(o.Key)
+		if o.Write {
+			body = EncodePut(o.Key, o.Val)
+		}
+		out = append(out, Record{
+			Ver: 0, Seq: uint64(i + 1),
+			Origin: o.Origin, PubID: o.PubID,
+			Body: body, Applied: true,
+		})
+	}
+	return out
+}
+
+func TestCheckKVLinearizableAcceptsCleanHistory(t *testing.T) {
+	p1 := ids.Named("p1")
+	w := op(p1, 1, true, "k", "v1", 10, 20)
+	r := op(p1, 2, false, "k", "v1", 30, 40)
+	if err := CheckKVLinearizable([]ClientOp{w, r}, orderOf(w, r)); err != nil {
+		t.Fatalf("clean history rejected: %v", err)
+	}
+}
+
+func TestCheckKVLinearizableCatchesLostAckedWrite(t *testing.T) {
+	p1 := ids.Named("p1")
+	w := op(p1, 1, true, "k", "v1", 10, 20)
+	err := CheckKVLinearizable([]ClientOp{w}, nil) // acked, absent from the order
+	if err == nil || !strings.Contains(err.Error(), "ACKED OP LOST") {
+		t.Fatalf("lost acked write not caught: %v", err)
+	}
+	// Unacked ops constrain nothing: a timed-out write may or may not land.
+	w.Acked = false
+	if err := CheckKVLinearizable([]ClientOp{w}, nil); err != nil {
+		t.Fatalf("unacked op rejected: %v", err)
+	}
+}
+
+func TestCheckKVLinearizableCatchesStaleRead(t *testing.T) {
+	p1 := ids.Named("p1")
+	w := op(p1, 1, true, "k", "v2", 10, 20)
+	r := op(p1, 2, false, "k", "v1", 30, 40) // returned the old value
+	err := CheckKVLinearizable([]ClientOp{w, r}, orderOf(w, r))
+	if err == nil || !strings.Contains(err.Error(), "STALE READ") {
+		t.Fatalf("stale read not caught: %v", err)
+	}
+}
+
+func TestCheckKVLinearizableCatchesRealTimeViolation(t *testing.T) {
+	p1, p2 := ids.Named("p1"), ids.Named("p2")
+	a := op(p1, 1, true, "k", "v1", 10, 20) // completed before b was invoked...
+	b := op(p2, 1, true, "k", "v2", 30, 40)
+	err := CheckKVLinearizable([]ClientOp{a, b}, orderOf(b, a)) // ...yet ordered after it
+	if err == nil || !strings.Contains(err.Error(), "real-time") {
+		t.Fatalf("real-time violation not caught: %v", err)
+	}
+	// Concurrent ops (overlapping windows) may order either way.
+	c := op(p2, 2, true, "k", "v3", 15, 40)
+	if err := CheckKVLinearizable([]ClientOp{a, c}, orderOf(c, a)); err != nil {
+		t.Fatalf("concurrent reordering rejected: %v", err)
+	}
+}
+
+func TestCheckKVLinearizableCatchesDoubleRecord(t *testing.T) {
+	p1 := ids.Named("p1")
+	w := op(p1, 1, true, "k", "v1", 10, 20)
+	err := CheckKVLinearizable([]ClientOp{w, w}, orderOf(w))
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double-recorded op not caught: %v", err)
+	}
+}

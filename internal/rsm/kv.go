@@ -1,0 +1,99 @@
+package rsm
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// KV is the replicated key-value state machine behind examples/kvstore
+// and the kv benchmark: string keys and values, last-writer-wins under
+// the broadcast total order. Commands are the compact byte encodings of
+// EncodePut and EncodeGet. Not safe for concurrent use on its own — a
+// Node drives it from the event loop.
+type KV struct {
+	m map[string]string
+}
+
+// NewKV builds an empty store.
+func NewKV() *KV { return &KV{m: make(map[string]string)} }
+
+// Command opcodes (first byte of a command encoding).
+const (
+	cmdPut = 'P'
+	cmdGet = 'G'
+)
+
+// EncodePut encodes a write command: key := val.
+func EncodePut(key, val string) []byte {
+	b := make([]byte, 0, 3+len(key)+len(val))
+	b = append(b, cmdPut, byte(len(key)>>8), byte(len(key)))
+	b = append(b, key...)
+	return append(b, val...)
+}
+
+// EncodeGet encodes a read command for key.
+func EncodeGet(key string) []byte {
+	b := make([]byte, 0, 1+len(key))
+	b = append(b, cmdGet)
+	return append(b, key...)
+}
+
+// DecodeCmd splits a command encoding back into opcode, key and (for
+// puts) value. ok is false on malformed input.
+func DecodeCmd(cmd []byte) (write bool, key, val string, ok bool) {
+	if len(cmd) == 0 {
+		return false, "", "", false
+	}
+	switch cmd[0] {
+	case cmdPut:
+		if len(cmd) < 3 {
+			return false, "", "", false
+		}
+		kl := int(cmd[1])<<8 | int(cmd[2])
+		if len(cmd) < 3+kl {
+			return false, "", "", false
+		}
+		return true, string(cmd[3 : 3+kl]), string(cmd[3+kl:]), true
+	case cmdGet:
+		return false, string(cmd[1:]), "", true
+	}
+	return false, "", "", false
+}
+
+// Apply implements StateMachine: puts store and echo the value, gets
+// return the current value (empty for a missing key).
+func (k *KV) Apply(cmd []byte) []byte {
+	write, key, val, ok := DecodeCmd(cmd)
+	if !ok {
+		return nil
+	}
+	if write {
+		k.m[key] = val
+		return []byte(val)
+	}
+	return []byte(k.m[key])
+}
+
+// Len reports the number of keys.
+func (k *KV) Len() int { return len(k.m) }
+
+// Get reads a key directly (tests; not part of the replicated path).
+func (k *KV) Get(key string) string { return k.m[key] }
+
+// Snapshot implements StateMachine.
+func (k *KV) Snapshot() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(k.m); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// Restore implements StateMachine.
+func (k *KV) Restore(snap []byte) {
+	m := make(map[string]string)
+	if len(snap) > 0 {
+		_ = gob.NewDecoder(bytes.NewReader(snap)).Decode(&m)
+	}
+	k.m = m
+}

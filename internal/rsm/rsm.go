@@ -1,0 +1,128 @@
+package rsm
+
+import (
+	"errors"
+	"time"
+
+	"procgroup/internal/broadcast"
+	"procgroup/internal/ids"
+	"procgroup/internal/live"
+)
+
+// StateMachine is the deterministic application a Node replicates. All
+// three methods run on the node's event loop; Apply must be a pure
+// function of the machine's state and the command bytes, because every
+// replica applies the same command sequence and divergence here is
+// divergence forever.
+type StateMachine interface {
+	// Apply executes one command and returns its response.
+	Apply(cmd []byte) []byte
+	// Snapshot serializes the full state for joiner state transfer.
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot.
+	Restore(snap []byte)
+}
+
+// Config wires one replica.
+type Config struct {
+	// Machine is the application state machine (required).
+	Machine StateMachine
+	// Recorder, when set, captures every order position this replica
+	// processes for the total-order and linearizability checkers.
+	Recorder *Recorder
+	// Broadcast tunes the underlying broadcast layer (optional).
+	Broadcast broadcast.Config
+}
+
+// ErrTimeout reports a Propose that saw no outcome in time — the node
+// died, or stability is blocked behind a membership change that has not
+// completed yet. The command may still execute; the caller must treat it
+// as unacknowledged, not as failed.
+var ErrTimeout = errors.New("rsm: propose timed out")
+
+// Node is one replica of the state machine: a broadcast endpoint that
+// applies the delivered total order and acks proposals at stability. Any
+// replica accepts writes — commands funnel through the current view's
+// sequencer regardless of which member they enter at. Build one per
+// process with NewNode from a live.AppHookFactory.
+type Node struct {
+	b    *broadcast.Broadcaster
+	sm   StateMachine
+	rec  *Recorder
+	self ids.ProcID
+	resp map[uint64][]byte // loop-owned: Apply responses for own proposals
+}
+
+// NewNode builds a replica on one live node. Returns the Node; install
+// node.Hook() as the live AppHook (or use the one-liner factory in the
+// root package).
+func NewNode(n live.AppNode, cfg Config) *Node {
+	node := &Node{
+		sm:   cfg.Machine,
+		rec:  cfg.Recorder,
+		self: n.ID(),
+		resp: make(map[uint64][]byte),
+	}
+	bc := cfg.Broadcast
+	bc.Deliver = node.deliver
+	bc.Observe = node.observe
+	bc.Snapshot = cfg.Machine.Snapshot
+	bc.Restore = cfg.Machine.Restore
+	node.b = broadcast.New(n, bc)
+	return node
+}
+
+// Hook is the live.AppHook to install for this replica.
+func (n *Node) Hook() live.AppHook { return n.b }
+
+// Broadcaster exposes the underlying broadcast layer (stats, tests).
+func (n *Node) Broadcaster() *broadcast.Broadcaster { return n.b }
+
+// ID is the replica's process identity.
+func (n *Node) ID() ids.ProcID { return n.self }
+
+// deliver applies one command in total order (event loop).
+func (n *Node) deliver(m broadcast.Msg) {
+	out := n.sm.Apply(m.Body)
+	if m.Origin == n.self {
+		n.resp[m.PubID] = out
+	}
+}
+
+// observe records every processed order position (event loop).
+func (n *Node) observe(m broadcast.Msg, applied bool) {
+	if n.rec != nil {
+		n.rec.observe(n.self, m, applied)
+	}
+}
+
+// Propose replicates cmd and blocks until it is *stable* — applied into
+// the total order and acknowledged by every member of an installed view —
+// then returns the local Apply response. Safe from any goroutine. The
+// returned pubID is this origin's sequence number for the command, the
+// identity checkers correlate client ops with order entries by. On
+// timeout the command's fate is unknown (see ErrTimeout).
+func (n *Node) Propose(cmd []byte, timeout time.Duration) (resp []byte, pubID uint64, err error) {
+	type result struct {
+		out []byte
+		id  uint64
+		err error
+	}
+	ch := make(chan result, 1)
+	n.b.Propose(cmd, func(id uint64, err error) {
+		var out []byte
+		if err == nil {
+			out = n.resp[id]
+			delete(n.resp, id)
+		}
+		ch <- result{out, id, err}
+	})
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case r := <-ch:
+		return r.out, r.id, r.err
+	case <-t.C:
+		return nil, 0, ErrTimeout
+	}
+}

@@ -1,0 +1,265 @@
+package rsm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"procgroup/internal/check"
+	"procgroup/internal/ids"
+	"procgroup/internal/live"
+	"procgroup/internal/rsm"
+)
+
+// swarm is a test harness around one live cluster whose nodes each host
+// a KV replica.
+type swarm struct {
+	t   *testing.T
+	c   *live.Cluster
+	n   int // initial group size
+	rec *rsm.Recorder
+
+	mu    sync.Mutex
+	nodes map[ids.ProcID]*rsm.Node
+	ops   []rsm.ClientOp
+}
+
+func startKV(t *testing.T, opts live.Options) *swarm {
+	t.Helper()
+	if opts.N <= 0 {
+		opts.N = 3
+	}
+	s := &swarm{t: t, n: opts.N, rec: rsm.NewRecorder(), nodes: make(map[ids.ProcID]*rsm.Node)}
+	opts.App = func(n live.AppNode) live.AppHook {
+		node := rsm.NewNode(n, rsm.Config{Machine: rsm.NewKV(), Recorder: s.rec})
+		s.mu.Lock()
+		s.nodes[n.ID()] = node
+		s.mu.Unlock()
+		return node.Hook()
+	}
+	if opts.HeartbeatEvery == 0 {
+		opts.HeartbeatEvery = 10 * time.Millisecond
+	}
+	if opts.SuspectAfter == 0 {
+		opts.SuspectAfter = 80 * time.Millisecond
+	}
+	s.c = live.Start(opts)
+	t.Cleanup(s.c.Stop)
+	return s
+}
+
+func (s *swarm) node(p ids.ProcID) *rsm.Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[p]
+}
+
+// do proposes one command through replica p and records the client op.
+func (s *swarm) do(p ids.ProcID, cmd []byte, write bool, key, val string, timeout time.Duration) (string, bool) {
+	n := s.node(p)
+	if n == nil {
+		return "", false
+	}
+	invoke := time.Now().UnixNano()
+	resp, pubID, err := n.Propose(cmd, timeout)
+	complete := time.Now().UnixNano()
+	op := rsm.ClientOp{
+		Write: write, Key: key, Val: val,
+		Origin: p, PubID: pubID,
+		Invoke: invoke, Complete: complete,
+		Acked: err == nil,
+	}
+	if !write && err == nil {
+		op.Val = string(resp)
+	}
+	s.mu.Lock()
+	s.ops = append(s.ops, op)
+	s.mu.Unlock()
+	return string(resp), err == nil
+}
+
+func (s *swarm) put(p ids.ProcID, key, val string, timeout time.Duration) bool {
+	_, ok := s.do(p, rsm.EncodePut(key, val), true, key, val, timeout)
+	return ok
+}
+
+func (s *swarm) get(p ids.ProcID, key string, timeout time.Duration) (string, bool) {
+	return s.do(p, rsm.EncodeGet(key), false, key, "", timeout)
+}
+
+// settle waits until every alive replica's applied sequence ends at the
+// same command (joiners apply a suffix, so lengths may differ) and the
+// group stops applying.
+func (s *swarm) settle(timeout time.Duration) {
+	s.t.Helper()
+	deadline := time.Now().Add(timeout)
+	var last int
+	stableFor := 0
+	for time.Now().Before(deadline) {
+		seqs := s.rec.Sequences()
+		alive := s.c.Running()
+		ends := make(map[rsm.CmdID]bool)
+		total := 0
+		for _, p := range alive {
+			a := rsm.AppliedOf(seqs[p])
+			if len(a) > 0 {
+				ends[rsm.CmdID{Origin: a[len(a)-1].Origin, PubID: a[len(a)-1].PubID}] = true
+			}
+			total += len(a)
+		}
+		if len(ends) <= 1 && total == last {
+			stableFor++
+			if stableFor >= 5 {
+				return
+			}
+		} else {
+			stableFor = 0
+		}
+		last = total
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.t.Fatalf("replicas did not settle within %v", timeout)
+}
+
+// certify runs the full battery: GMP properties, total order,
+// linearizability of the recorded client history.
+func (s *swarm) certify() {
+	s.t.Helper()
+	alive := s.c.Running()
+	running := ids.NewSet(alive...)
+	if rep := check.Run(check.Input{
+		Recorder: s.c.Recorder(),
+		Initial:  ids.Gen(s.n),
+		Alive:    running.Has,
+	}); !rep.OK() {
+		s.t.Errorf("GMP certification failed:\n%v", rep)
+	}
+	seqs := s.rec.Sequences()
+	if err := rsm.CheckTotalOrder(seqs, alive); err != nil {
+		s.t.Errorf("total order: %v", err)
+	}
+	s.mu.Lock()
+	ops := append([]rsm.ClientOp(nil), s.ops...)
+	s.mu.Unlock()
+	if err := rsm.CheckKVLinearizable(ops, rsm.LongestApplied(seqs)); err != nil {
+		s.t.Errorf("linearizability: %v", err)
+	}
+}
+
+func TestKVSteadyState(t *testing.T) {
+	s := startKV(t, live.Options{N: 5})
+	if _, err := s.c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	procs := ids.Gen(5)
+	for i := 0; i < 60; i++ {
+		p := procs[i%len(procs)]
+		key := fmt.Sprintf("k%d", i%7)
+		if !s.put(p, key, fmt.Sprintf("v%d-%d", i, i%7), 10*time.Second) {
+			t.Fatalf("write %d via %v not acked", i, p)
+		}
+		if i%5 == 4 {
+			if _, ok := s.get(p, key, 10*time.Second); !ok {
+				t.Fatalf("read %d via %v not acked", i, p)
+			}
+		}
+	}
+	s.settle(10 * time.Second)
+	s.certify()
+}
+
+func TestKVSurvivesSequencerCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash convergence needs real time")
+	}
+	s := startKV(t, live.Options{N: 5})
+	v, err := s.c.WaitConverged(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqID := v.Mgr() // the coordinator IS the sequencer: the worst crash
+	procs := ids.Gen(5)
+
+	// Writers hammer every replica while the sequencer dies mid-stream.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, p := range procs {
+		if p == seqID {
+			continue
+		}
+		wg.Add(1)
+		go func(p ids.ProcID) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.put(p, fmt.Sprintf("%v-k%d", p, i%5), fmt.Sprintf("%v-v%d", p, i), 15*time.Second)
+			}
+		}(p)
+	}
+	time.Sleep(150 * time.Millisecond)
+	s.c.Kill(seqID)
+	if _, err := s.c.WaitConverged(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Post-crash writes through the new view must still ack.
+	newV, _ := s.c.WaitConverged(10 * time.Second)
+	if !s.put(newV.Mgr(), "after-crash", "ok", 15*time.Second) {
+		t.Fatal("write after sequencer crash not acked")
+	}
+	s.settle(15 * time.Second)
+	s.certify()
+}
+
+func TestKVJoinStateTransfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("join convergence needs real time")
+	}
+	s := startKV(t, live.Options{N: 3})
+	if _, err := s.c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	procs := ids.Gen(3)
+	for i := 0; i < 30; i++ {
+		if !s.put(procs[i%3], fmt.Sprintf("pre%d", i), fmt.Sprintf("val%d", i), 10*time.Second) {
+			t.Fatalf("pre-join write %d not acked", i)
+		}
+	}
+
+	joiner := ids.Named("p9")
+	s.c.Join(joiner, procs[0])
+	if _, err := s.c.WaitConverged(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the joiner's replica hook to be registered and synced.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.node(joiner) == nil && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Reads THROUGH THE JOINER must see every pre-join write: the state
+	// transfer carried the snapshot, the total order carries the reads.
+	for i := 0; i < 30; i += 7 {
+		key := fmt.Sprintf("pre%d", i)
+		got, ok := s.get(joiner, key, 15*time.Second)
+		if !ok {
+			t.Fatalf("read of %q via joiner not acked", key)
+		}
+		if want := fmt.Sprintf("val%d", i); got != want {
+			t.Fatalf("joiner read %q = %q, want %q (state transfer lost it)", key, got, want)
+		}
+	}
+	if !s.put(joiner, "via-joiner", "yes", 15*time.Second) {
+		t.Fatal("write through joiner not acked")
+	}
+	s.settle(15 * time.Second)
+	s.certify()
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"procgroup/internal/ids"
+)
+
+// TestParseErrorPaths pins every rejection branch of the spec grammar,
+// including the offending spec appearing in the message (the CLI tools
+// surface these verbatim).
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the error
+	}{
+		{"full:3", "takes no parameters"},
+		{"full:", "takes no parameters"},
+		{":", "takes no parameters"}, // empty name is "full"; the colon is an argument
+		{"mesh", "unknown spec"},
+		{"Ring", "unknown spec"}, // the vocabulary is case-sensitive
+		{"ring:0", "positive integer"},
+		{"ring:-2", "positive integer"},
+		{"ring:x", "positive integer"},
+		{"ring:", "positive integer"}, // trailing colon is an empty parameter
+		{"ring:1:2", "too many parameters"},
+		{"hier:0", "positive integer"},
+		{"hier:4:0", "positive integer"},
+		{"hier:4:k", "positive integer"},
+		{"hier:2:3:4", "too many parameters"},
+	}
+	for _, c := range cases {
+		topo, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted: %#v", c.spec, topo)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q, want it to mention %q", c.spec, err, c.want)
+		}
+		if !strings.Contains(err.Error(), c.spec) {
+			t.Errorf("Parse(%q) error %q does not name the offending spec", c.spec, err)
+		}
+	}
+}
+
+// TestParsePartialHierDefaults: "hier:c" leaves k at 0, which the Hier
+// methods resolve to the documented default — the zero-padding contract.
+func TestParsePartialHierDefaults(t *testing.T) {
+	topo, err := Parse("hier:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := topo.(Hier)
+	if !ok || h.C != 5 || h.K != 0 {
+		t.Fatalf("Parse(\"hier:5\") = %#v, want Hier{C:5, K:0}", topo)
+	}
+	if got := len(h.Monitors(view(20), view(20)[1])); got != DefaultRingK {
+		t.Errorf("hier:5 non-leader monitors %d members, want the default k %d", got, DefaultRingK)
+	}
+}
+
+// TestHierClusterSizeOne: C=1 makes every member its own cluster's
+// leader, so the hierarchy collapses to a single leader ring over the
+// whole view — exactly RingK with the same k, inverse included.
+func TestHierClusterSizeOne(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 9} {
+		v := view(n)
+		h := Hier{C: 1, K: 2}
+		r := RingK{K: 2}
+		for _, self := range v {
+			if got, want := h.Monitors(v, self), r.Monitors(v, self); !equal(got, want) {
+				t.Errorf("n=%d C=1: Monitors(%v) = %v, want RingK %v", n, self, got, want)
+			}
+			if got, want := h.MonitoredBy(v, self), r.MonitoredBy(v, self); !equal(got, want) {
+				t.Errorf("n=%d C=1: MonitoredBy(%v) = %v, want RingK %v", n, self, got, want)
+			}
+		}
+	}
+}
+
+// TestHierKCoversCluster: k ≥ cluster size − 1 makes each cluster an
+// internal full mesh; a leader additionally walks the leader ring, with
+// the duplicate walks deduplicated.
+func TestHierKCoversCluster(t *testing.T) {
+	// n=9, C=3, K=5: clusters {0,1,2} {3,4,5} {6,7,8}, leaders {0,3,6};
+	// K=5 exceeds both the cluster size and the leader count.
+	v := view(9)
+	h := Hier{C: 3, K: 5}
+
+	// Non-leader: the rest of its cluster, nothing more.
+	if got, want := h.Monitors(v, v[4]), []ids.ProcID{v[3], v[5]}; !sameSet(got, want) {
+		t.Errorf("Monitors(v4) = %v, want exactly its cluster-mates %v", got, want)
+	}
+	// Leader: cluster-mates plus every other leader, each exactly once.
+	got := h.Monitors(v, v[3])
+	want := []ids.ProcID{v[4], v[5], v[0], v[6]}
+	if !sameSet(got, want) {
+		t.Errorf("Monitors(leader v3) = %v, want %v", got, want)
+	}
+	seen := ids.NewSet()
+	for _, p := range got {
+		if seen.Has(p) {
+			t.Errorf("Monitors(leader v3) lists %v twice", p)
+		}
+		seen.Add(p)
+	}
+}
+
+// TestHierNonDivisibleN: when C does not divide n the last cluster is a
+// contiguous remainder — its members must ring among themselves only,
+// and its leader must still stitch into the leader ring.
+func TestHierNonDivisibleN(t *testing.T) {
+	// n=10, C=4, K=1: clusters {0..3} {4..7} {8,9}, leaders {0,4,8}.
+	v := view(10)
+	h := Hier{C: 4, K: 1}
+
+	// The remainder cluster's non-leader wraps its two-member sub-ring.
+	if got, want := h.Monitors(v, v[9]), []ids.ProcID{v[8]}; !equal(got, want) {
+		t.Errorf("Monitors(v9) = %v, want %v", got, want)
+	}
+	// Its leader monitors its only cluster-mate and the next leader (wrap).
+	if got, want := h.Monitors(v, v[8]), []ids.ProcID{v[9], v[0]}; !equal(got, want) {
+		t.Errorf("Monitors(leader v8) = %v, want %v", got, want)
+	}
+	// No member of a full cluster reaches into the remainder cluster
+	// except via the leader ring.
+	for _, self := range []ids.ProcID{v[1], v[2], v[3], v[5], v[6], v[7]} {
+		for _, q := range h.Monitors(v, self) {
+			if q == v[8] || q == v[9] {
+				t.Errorf("non-leader %v monitors %v across the cluster cut", self, q)
+			}
+		}
+	}
+	// A two-member remainder still leaves everyone monitored (coverage).
+	monitored := ids.NewSet()
+	for _, p := range v {
+		for _, q := range h.Monitors(v, p) {
+			monitored.Add(q)
+		}
+	}
+	for _, p := range v {
+		if !monitored.Has(p) {
+			t.Errorf("%v monitored by nobody under the non-divisible layout", p)
+		}
+	}
+}

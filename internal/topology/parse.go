@@ -16,21 +16,21 @@ import (
 //	hier:c        clusters of c, default k
 //	hier:c:k      clusters of c with intra-cluster ring-k
 func Parse(spec string) (Topology, error) {
-	name, args, _ := strings.Cut(spec, ":")
+	name, args, hasArgs := strings.Cut(spec, ":")
 	switch name {
 	case "", "full":
-		if args != "" {
+		if hasArgs {
 			return nil, fmt.Errorf("topology: %q takes no parameters", spec)
 		}
 		return Full{}, nil
 	case "ring":
-		k, err := parseInts(spec, args, 1)
+		k, err := parseInts(spec, args, hasArgs, 1)
 		if err != nil {
 			return nil, err
 		}
 		return RingK{K: k[0]}, nil
 	case "hier":
-		ck, err := parseInts(spec, args, 2)
+		ck, err := parseInts(spec, args, hasArgs, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -42,9 +42,11 @@ func Parse(spec string) (Topology, error) {
 
 // parseInts splits args into at most max colon-separated positive ints,
 // zero-padding the tail (0 selects each parameter's documented default).
-func parseInts(spec, args string, max int) ([]int, error) {
+// A colon with nothing behind it ("ring:") is an empty parameter, not an
+// absent one, and is rejected like any other non-integer.
+func parseInts(spec, args string, hasArgs bool, max int) ([]int, error) {
 	out := make([]int, max)
-	if args == "" {
+	if !hasArgs {
 		return out, nil
 	}
 	fields := strings.Split(args, ":")

@@ -92,6 +92,12 @@ var tcpQueueDepth = 1024
 // sharded path regardless of GOMAXPROCS.)
 var tcpReadShards = min(runtime.GOMAXPROCS(0), 16)
 
+// tcpPostDialHook, when non-nil (tests only), runs in ensureConn after
+// the dial and hello succeed but before the pair state is re-examined —
+// the simultaneous-open window, made steerable so the adopt/ensureConn
+// interleaving can be forced deterministically instead of raced.
+var tcpPostDialHook func(init, dialTo ids.ProcID)
+
 // NewTCP builds a TCP transport whose listeners bind loopback.
 func NewTCP() *TCP { return NewTCPHost("127.0.0.1") }
 
@@ -1098,6 +1104,9 @@ func (m *pairMux) ensureConn() (net.Conn, dropReason) {
 	if err := WriteFrame(c, Frame{From: init.String(), To: dialTo.String(), Body: muxHello{}}); err != nil {
 		c.Close()
 		return nil, dropDialFailed
+	}
+	if h := tcpPostDialHook; h != nil {
+		h(init, dialTo)
 	}
 	m.mu.Lock()
 	if m.stopped {

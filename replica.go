@@ -1,0 +1,110 @@
+package procgroup
+
+import (
+	"sync"
+	"time"
+
+	"procgroup/internal/live"
+	"procgroup/internal/rsm"
+)
+
+// Re-exported replication types (the broadcast/rsm layers above GMP).
+type (
+	// AppNode is the per-process handle the live runtime hands an
+	// application layer: identity, sends to peers, and loop scheduling.
+	AppNode = live.AppNode
+	// AppHook receives a node's application traffic and view
+	// installations on its event loop; set an AppHookFactory on
+	// GroupOptions.App to install one per member.
+	AppHook = live.AppHook
+	// AppHookFactory builds one AppHook per spawned group member.
+	AppHookFactory = live.AppHookFactory
+	// StateMachine is the deterministic application a Replica replicates.
+	StateMachine = rsm.StateMachine
+	// Replica is one member's replicated-state-machine endpoint: Propose
+	// from any goroutine, acknowledged at stability.
+	Replica = rsm.Node
+	// ReplicaRecorder captures every order position each replica
+	// processes — the raw material of the certification checkers.
+	ReplicaRecorder = rsm.Recorder
+)
+
+// ReplicaSet hosts one StateMachine replica per group member. Set
+// Factory() on GroupOptions.App before StartGroup; afterwards Replica(p)
+// returns member p's endpoint — any member accepts writes, the broadcast
+// layer funnels them into one view-synchronous total order (DESIGN.md
+// §11), and Propose acks only at stability, so an acknowledged command
+// survives any crash or view change.
+type ReplicaSet struct {
+	machine func() StateMachine
+	rec     *rsm.Recorder
+
+	mu    sync.Mutex
+	nodes map[ProcID]*Replica
+}
+
+// NewReplicaSet builds a replica set over any state machine; machine is
+// called once per spawned member and must return a fresh instance.
+func NewReplicaSet(machine func() StateMachine) *ReplicaSet {
+	return &ReplicaSet{
+		machine: machine,
+		rec:     rsm.NewRecorder(),
+		nodes:   make(map[ProcID]*Replica),
+	}
+}
+
+// NewReplicatedKV builds a replica set over the built-in key-value state
+// machine (commands from KVPut and KVGet) — the examples/kvstore and
+// gmpbench -exp kv substrate.
+func NewReplicatedKV() *ReplicaSet {
+	return NewReplicaSet(func() StateMachine { return rsm.NewKV() })
+}
+
+// Factory is the AppHookFactory to set on GroupOptions.App.
+func (s *ReplicaSet) Factory() AppHookFactory {
+	return func(n AppNode) AppHook {
+		node := rsm.NewNode(n, rsm.Config{Machine: s.machine(), Recorder: s.rec})
+		s.mu.Lock()
+		s.nodes[n.ID()] = node
+		s.mu.Unlock()
+		return node.Hook()
+	}
+}
+
+// Replica returns member p's endpoint, or nil before p has spawned.
+func (s *ReplicaSet) Replica(p ProcID) *Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes[p]
+}
+
+// Recorder exposes the shared order recorder for the checkers.
+func (s *ReplicaSet) Recorder() *ReplicaRecorder { return s.rec }
+
+// CheckTotalOrder certifies the recorded histories: every replica applied
+// the same total order (exactly-once, pairwise consistent under joiner
+// alignment, per-view slot agreement), and the replicas in alive
+// converged on the same final command. Nil means certified.
+func (s *ReplicaSet) CheckTotalOrder(alive []ProcID) error {
+	return rsm.CheckTotalOrder(s.rec.Sequences(), alive)
+}
+
+// KVPut encodes a write command for the built-in KV machine; the Apply
+// response echoes the value written.
+func KVPut(key, val string) []byte { return rsm.EncodePut(key, val) }
+
+// KVGet encodes a read command; the Apply response is the key's value at
+// the command's own position in the total order.
+func KVGet(key string) []byte { return rsm.EncodeGet(key) }
+
+// Propose is a convenience wrapper: replicate cmd through member p of the
+// set and wait up to timeout for stability. See Replica.Propose for the
+// acknowledgement contract.
+func (s *ReplicaSet) Propose(p ProcID, cmd []byte, timeout time.Duration) ([]byte, error) {
+	n := s.Replica(p)
+	if n == nil {
+		return nil, rsm.ErrTimeout
+	}
+	resp, _, err := n.Propose(cmd, timeout)
+	return resp, err
+}
