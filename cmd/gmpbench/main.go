@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"procgroup/internal/experiments"
@@ -40,7 +41,21 @@ func main() {
 	mprocFlags()
 	satFlags()
 	kvFlags()
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	run := func(name string, fn func(int64)) {
 		if *exp == "all" || *exp == name {

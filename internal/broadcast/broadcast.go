@@ -3,6 +3,7 @@ package broadcast
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"procgroup/internal/ids"
 	"procgroup/internal/live"
@@ -21,6 +22,38 @@ type Msg struct {
 	Origin ids.ProcID
 	PubID  uint64
 	Body   []byte
+}
+
+// BatchConfig tunes group commit on the origin→sequencer leg: queued
+// Propose bodies coalesce into one PubBatch frame, flushed when any cap
+// trips. MaxEntries ≤ 1 disables batching entirely — every Propose sends
+// an individual Pub, the sequencer fans out individual Seqds and separate
+// Stable broadcasts, reproducing the unbatched wire exactly (the
+// degenerate case the A/B benchmarks pin).
+type BatchConfig struct {
+	// MaxEntries flushes the queue at this many proposals (≤ 1 = off).
+	MaxEntries int
+	// MaxBytes flushes the queue at this many queued body bytes
+	// (default 256 KiB; stays well under the transport's frame cap).
+	MaxBytes int
+	// MaxDelay bounds how long a queued proposal waits for company
+	// (default 1ms — the live loop's timer floor). It also bounds the
+	// sequencer's Stable piggyback: if no SeqdBatch goes out within
+	// MaxDelay of the frontier advancing, Stable is broadcast alone.
+	MaxDelay time.Duration
+}
+
+// AckConfig coalesces the member→sequencer delivery acks. Acks are
+// cumulative, so one ack covering B entries carries exactly the
+// information of B per-entry acks — the unbatched wire's ack-per-Seqd is
+// pure storm. Every ≤ 1 keeps the legacy ack-per-delivery behavior.
+type AckConfig struct {
+	// Every sends the cumulative ack once this many deliveries are
+	// unacknowledged.
+	Every int
+	// Delay bounds how long a delivery waits unacknowledged when the
+	// count cap is not reached (default 1ms).
+	Delay time.Duration
 }
 
 // Config wires a Broadcaster to its application. All callbacks run on
@@ -44,6 +77,12 @@ type Config struct {
 	// installed yet (default 4096); beyond it new arrivals are dropped
 	// and counted (senders recover by the usual resubmission paths).
 	MaxBuffered int
+	// Batch enables group commit (see BatchConfig). The zero value is
+	// the unbatched legacy wire.
+	Batch BatchConfig
+	// Ack coalesces delivery acks (see AckConfig). The zero value acks
+	// every delivery immediately, the legacy behavior.
+	Ack AckConfig
 }
 
 // Stats counts a Broadcaster's work; fields are atomics so tests and
@@ -57,20 +96,112 @@ type Stats struct {
 	DroppedOverflow atomic.Uint64 // future-view messages dropped at cap
 	Resubmits       atomic.Uint64 // pubs resubmitted after a view change
 	Syncs           atomic.Uint64 // ViewSync rounds completed here
+
+	PubBatches  atomic.Uint64 // PubBatch flushes sent as origin
+	SeqdBatches atomic.Uint64 // SeqdBatch fan-outs sent as sequencer
+	// BatchHist buckets the sequenced batch sizes (entries per
+	// SeqdBatch): 1, 2–4, 5–16, 17–64, ≥65.
+	BatchHist [5]atomic.Uint64
+
+	AcksSent       atomic.Uint64 // cumulative AckSeq frames sent
+	AcksSuppressed atomic.Uint64 // deliveries that deferred instead of acking
+
+	StablePiggybacked atomic.Uint64 // frontier advances carried by a SeqdBatch
+	StableBroadcasts  atomic.Uint64 // standalone Stable fan-outs
+
+	Fences          atomic.Uint64 // read fences registered
+	FencesImmediate atomic.Uint64 // fences satisfied without waiting
+}
+
+// StatsSnapshot is a plain-value copy of Stats, addable across a group's
+// replicas (the root API surfaces the aggregate like TransportStats).
+type StatsSnapshot struct {
+	Sequenced, Processed, Applied       uint64
+	BufferedFuture                      uint64
+	DroppedStale, DroppedOverflow       uint64
+	Resubmits, Syncs                    uint64
+	PubBatches, SeqdBatches             uint64
+	BatchHist                           [5]uint64
+	AcksSent, AcksSuppressed            uint64
+	StablePiggybacked, StableBroadcasts uint64
+	Fences, FencesImmediate             uint64
+}
+
+// Snapshot reads every counter once.
+func (s *Stats) Snapshot() StatsSnapshot {
+	out := StatsSnapshot{
+		Sequenced: s.Sequenced.Load(), Processed: s.Processed.Load(), Applied: s.Applied.Load(),
+		BufferedFuture: s.BufferedFuture.Load(),
+		DroppedStale:   s.DroppedStale.Load(), DroppedOverflow: s.DroppedOverflow.Load(),
+		Resubmits: s.Resubmits.Load(), Syncs: s.Syncs.Load(),
+		PubBatches: s.PubBatches.Load(), SeqdBatches: s.SeqdBatches.Load(),
+		AcksSent: s.AcksSent.Load(), AcksSuppressed: s.AcksSuppressed.Load(),
+		StablePiggybacked: s.StablePiggybacked.Load(), StableBroadcasts: s.StableBroadcasts.Load(),
+		Fences: s.Fences.Load(), FencesImmediate: s.FencesImmediate.Load(),
+	}
+	for i := range s.BatchHist {
+		out.BatchHist[i] = s.BatchHist[i].Load()
+	}
+	return out
+}
+
+// Add sums two snapshots field-wise (replica-set aggregation).
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	a.Sequenced += b.Sequenced
+	a.Processed += b.Processed
+	a.Applied += b.Applied
+	a.BufferedFuture += b.BufferedFuture
+	a.DroppedStale += b.DroppedStale
+	a.DroppedOverflow += b.DroppedOverflow
+	a.Resubmits += b.Resubmits
+	a.Syncs += b.Syncs
+	a.PubBatches += b.PubBatches
+	a.SeqdBatches += b.SeqdBatches
+	for i := range a.BatchHist {
+		a.BatchHist[i] += b.BatchHist[i]
+	}
+	a.AcksSent += b.AcksSent
+	a.AcksSuppressed += b.AcksSuppressed
+	a.StablePiggybacked += b.StablePiggybacked
+	a.StableBroadcasts += b.StableBroadcasts
+	a.Fences += b.Fences
+	a.FencesImmediate += b.FencesImmediate
+	return a
+}
+
+// histBucket maps a batch size to its BatchHist bucket.
+func histBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 4:
+		return 1
+	case n <= 16:
+		return 2
+	case n <= 64:
+		return 3
+	default:
+		return 4
+	}
 }
 
 // Broadcaster delivers totally-ordered messages within installed views:
 // the view's coordinator sequences, every install triggers a flush
 // barrier and state transfer (DESIGN.md §11), and messages for views not
-// yet installed locally are buffered for redelivery. It implements
-// live.AppHook; attach one per node via live.Options.App. All state is
-// loop-owned — only Propose and the Stats fields are safe from other
-// goroutines.
+// yet installed locally are buffered for redelivery. With Batch set it
+// runs the group-commit wire (DESIGN.md §12): origins coalesce proposals
+// into PubBatch frames, the sequencer assigns contiguous slot ranges and
+// fans out SeqdBatch frames carrying the stability frontier, and members
+// ack coalesced. It implements live.AppHook; attach one per node via
+// live.Options.App. All state is loop-owned — only Propose and the Stats
+// fields are safe from other goroutines.
 type Broadcaster struct {
 	n     live.AppNode
 	cfg   Config
 	self  ids.ProcID
 	stats Stats
+
+	batching bool // cfg.Batch.MaxEntries > 1
 
 	installed  bool
 	ver        uint64 // current installed view version
@@ -98,10 +229,34 @@ type Broadcaster struct {
 	nextPub  uint64
 	inflight map[uint64]*pubState
 
+	// origin group-commit queue (batching only): pubIDs awaiting a flush
+	pubQueue      []uint64
+	pubQueueBytes int
+	pubsUnseqd    int // own pubs shipped but not yet slotted (pipeline depth)
+	cancelFlush   func()
+
+	// member ack coalescing
+	ackLast   uint64 // highest seq acked to the sequencer this view
+	cancelAck func()
+
+	// read fences: stability-fenced local reads (DESIGN.md §12)
+	fences []fence
+
 	// sequencer state
-	seqNext uint64
-	acks    map[ids.ProcID]uint64
-	flushes map[ids.ProcID]Flush
+	seqNext      uint64
+	acks         map[ids.ProcID]uint64
+	flushes      map[ids.ProcID]Flush
+	stableDirty  bool // frontier advanced; piggyback on the next SeqdBatch
+	cancelStable func()
+}
+
+// fenceResync marks a fence awaiting the view's sync before it can be
+// given a seq target.
+const fenceResync = ^uint64(0)
+
+type fence struct {
+	seq uint64 // release once stable ≥ seq (current view)
+	fn  func()
 }
 
 type futureMsg struct {
@@ -124,10 +279,22 @@ func New(n live.AppNode, cfg Config) *Broadcaster {
 	if cfg.MaxBuffered <= 0 {
 		cfg.MaxBuffered = 4096
 	}
+	if cfg.Batch.MaxEntries > 1 {
+		if cfg.Batch.MaxBytes <= 0 {
+			cfg.Batch.MaxBytes = 256 << 10
+		}
+		if cfg.Batch.MaxDelay <= 0 {
+			cfg.Batch.MaxDelay = time.Millisecond
+		}
+	}
+	if cfg.Ack.Every > 1 && cfg.Ack.Delay <= 0 {
+		cfg.Ack.Delay = time.Millisecond
+	}
 	return &Broadcaster{
 		n:        n,
 		cfg:      cfg,
 		self:     n.ID(),
+		batching: cfg.Batch.MaxEntries > 1,
 		pending:  make(map[uint64]Entry),
 		applied:  make(map[ids.ProcID]uint64),
 		future:   make(map[uint64][]futureMsg),
@@ -137,7 +304,7 @@ func New(n live.AppNode, cfg Config) *Broadcaster {
 	}
 }
 
-// Stats exposes the node's counters.
+// StatsRef exposes the node's counters.
 func (b *Broadcaster) StatsRef() *Stats { return &b.stats }
 
 // Propose submits body for total-order delivery; safe from any
@@ -159,7 +326,35 @@ func (b *Broadcaster) Propose(body []byte, done func(pubID uint64, err error)) {
 	})
 }
 
+// Fence runs fn on the event loop once every order position this member
+// has processed so far is *stable* — processed by every member of an
+// installed view. This is the read fence behind stability-fenced local
+// reads: a value captured now may include entries not yet stable, so the
+// caller captures first and completes at release, which places the read's
+// linearization point at the capture position without ever exposing state
+// a crash could still lose. Must be called on the event loop. If a view
+// change intervenes, the fence re-targets to the new view's covering
+// prefix (a superset of everything captured) and releases at its
+// stability.
+func (b *Broadcaster) Fence(fn func()) {
+	b.stats.Fences.Add(1)
+	if b.installed && b.synced && b.stable >= b.next-1 {
+		b.stats.FencesImmediate.Add(1)
+		fn()
+		return
+	}
+	seq := fenceResync
+	if b.installed && b.synced {
+		seq = b.next - 1
+	}
+	b.fences = append(b.fences, fence{seq: seq, fn: fn})
+}
+
 func (b *Broadcaster) sendPub(id uint64, p *pubState) {
+	if b.batching {
+		b.enqueuePub(id, len(p.body))
+		return
+	}
 	pub := Pub{Origin: b.self, PubID: id, Body: p.body}
 	if b.isSeq {
 		if b.synced {
@@ -172,6 +367,65 @@ func (b *Broadcaster) sendPub(id uint64, p *pubState) {
 	b.n.Send(b.seqID, pub)
 }
 
+// enqueuePub queues one proposal for the next group-commit flush. The
+// flush is pipeline-paced, the classic group-commit discipline: ship
+// immediately when this origin has nothing in flight (the batch is
+// whatever accumulated — size 1 at low load, so an idle group pays no
+// batching latency), let an in-flight batch absorb new arrivals, and
+// flush early when a size cap trips. The timer is only a liveness
+// fallback for the sequencer's ride-along queue and for pipeline state
+// lost to a view change.
+func (b *Broadcaster) enqueuePub(id uint64, size int) {
+	b.pubQueue = append(b.pubQueue, id)
+	b.pubQueueBytes += size
+	if (!b.isSeq && b.pubsUnseqd == 0) ||
+		len(b.pubQueue) >= b.cfg.Batch.MaxEntries || b.pubQueueBytes >= b.cfg.Batch.MaxBytes {
+		b.flushPubs()
+		return
+	}
+	if b.cancelFlush == nil {
+		b.cancelFlush = b.n.After(b.cfg.Batch.MaxDelay, func() {
+			b.cancelFlush = nil
+			if b.installed && b.synced {
+				b.flushPubs()
+			}
+		})
+	}
+}
+
+// flushPubs drains the origin's queue into one PubBatch (or sequences it
+// directly when this node is the sequencer). Queue entries that completed
+// or were assigned a slot while queued are skipped.
+func (b *Broadcaster) flushPubs() {
+	if b.cancelFlush != nil {
+		b.cancelFlush()
+		b.cancelFlush = nil
+	}
+	if len(b.pubQueue) == 0 || !b.installed || !b.synced {
+		return
+	}
+	items := make([]PubItem, 0, len(b.pubQueue))
+	for _, id := range b.pubQueue {
+		p, ok := b.inflight[id]
+		if !ok || p.seq != 0 {
+			continue
+		}
+		items = append(items, PubItem{PubID: id, Body: p.body})
+	}
+	b.pubQueue = b.pubQueue[:0]
+	b.pubQueueBytes = 0
+	if len(items) == 0 {
+		return
+	}
+	b.stats.PubBatches.Add(1)
+	if b.isSeq {
+		b.sequenceBatch(b.self, items)
+		return
+	}
+	b.pubsUnseqd += len(items)
+	b.n.Send(b.seqID, PubBatch{Origin: b.self, Pubs: items})
+}
+
 // --- live.AppHook ------------------------------------------------------------
 
 // HandleApp routes one received broadcast payload (event loop).
@@ -179,9 +433,15 @@ func (b *Broadcaster) HandleApp(from ids.ProcID, payload any) {
 	switch m := payload.(type) {
 	case Pub:
 		b.onPub(m)
+	case PubBatch:
+		b.onPubBatch(m)
 	case Seqd:
 		if b.route(m.Ver, from, payload) {
 			b.onSeqd(m)
+		}
+	case SeqdBatch:
+		if b.route(m.Ver, from, payload) {
+			b.onSeqdBatch(m)
 		}
 	case AckSeq:
 		if b.route(m.Ver, from, payload) {
@@ -247,6 +507,30 @@ func (b *Broadcaster) HandleInstall(ver member.Version, members []ids.ProcID) {
 	b.acks = make(map[ids.ProcID]uint64)
 	b.flushes = make(map[ids.ProcID]Flush)
 
+	// Group-commit state is per-view: queued pubs resubmit via afterSync,
+	// pending acks and frontier piggybacks are meaningless under the new
+	// version, and fences re-target once the new order is open.
+	b.pubQueue = b.pubQueue[:0]
+	b.pubQueueBytes = 0
+	b.pubsUnseqd = 0
+	b.ackLast = 0
+	b.stableDirty = false
+	if b.cancelFlush != nil {
+		b.cancelFlush()
+		b.cancelFlush = nil
+	}
+	if b.cancelAck != nil {
+		b.cancelAck()
+		b.cancelAck = nil
+	}
+	if b.cancelStable != nil {
+		b.cancelStable()
+		b.cancelStable = nil
+	}
+	for i := range b.fences {
+		b.fences[i].seq = fenceResync
+	}
+
 	f := Flush{
 		Ver:     v,
 		Applied: b.appliedList(),
@@ -290,8 +574,60 @@ func (b *Broadcaster) onSeqd(m Seqd) {
 	}
 	b.processEntry(Entry(m))
 	if !b.isSeq {
-		b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.next - 1})
+		b.maybeAck()
 	}
+}
+
+// onSeqdBatch files one contiguous slot range of the current view's
+// order, acks the whole range at most once, then folds in the piggybacked
+// stability frontier — the same order (entries, ack, stable) the
+// unbatched wire produces with individual frames.
+func (b *Broadcaster) onSeqdBatch(m SeqdBatch) {
+	if !b.synced {
+		b.preSync = append(b.preSync, futureMsg{payload: m})
+		return
+	}
+	for i, it := range m.Entries {
+		b.processEntry(Entry{Ver: m.Ver, Seq: m.FirstSeq + uint64(i), Origin: it.Origin, PubID: it.PubID, Body: it.Body})
+	}
+	if !b.isSeq {
+		b.maybeAck()
+	}
+	if m.Stable > b.stable {
+		b.setStable(m.Stable)
+	}
+}
+
+// maybeAck implements ack coalescing: send the cumulative ack once Every
+// deliveries are pending, otherwise hold it behind the ack timer. With
+// Every ≤ 1 every delivery acks immediately (legacy).
+func (b *Broadcaster) maybeAck() {
+	if b.ackLast >= b.next-1 {
+		return
+	}
+	if b.cfg.Ack.Every <= 1 || b.next-1-b.ackLast >= uint64(b.cfg.Ack.Every) {
+		b.sendAck()
+		return
+	}
+	b.stats.AcksSuppressed.Add(1)
+	if b.cancelAck == nil {
+		b.cancelAck = b.n.After(b.cfg.Ack.Delay, func() {
+			b.cancelAck = nil
+			if b.installed && b.synced && !b.isSeq && b.ackLast < b.next-1 {
+				b.sendAck()
+			}
+		})
+	}
+}
+
+func (b *Broadcaster) sendAck() {
+	if b.cancelAck != nil {
+		b.cancelAck()
+		b.cancelAck = nil
+	}
+	b.ackLast = b.next - 1
+	b.stats.AcksSent.Add(1)
+	b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.ackLast})
 }
 
 // processEntry files one entry of the current view's order, applying the
@@ -304,7 +640,7 @@ func (b *Broadcaster) processEntry(en Entry) {
 		return
 	}
 	b.applyEntry(en)
-	for {
+	for len(b.pending) > 0 {
 		nxt, ok := b.pending[b.next]
 		if !ok {
 			return
@@ -337,6 +673,13 @@ func (b *Broadcaster) applyEntry(en Entry) {
 	}
 	if en.Origin == b.self {
 		if p, ok := b.inflight[en.PubID]; ok {
+			if p.seq == 0 && b.pubsUnseqd > 0 {
+				// One in-flight pub came home with its slot; once the whole
+				// pipeline drains, ship the batch that accumulated meanwhile.
+				if b.pubsUnseqd--; b.pubsUnseqd == 0 && len(b.pubQueue) > 0 {
+					b.flushPubs()
+				}
+			}
 			p.seq = en.Seq
 		}
 	}
@@ -352,8 +695,9 @@ func (b *Broadcaster) onStable(m Stable) {
 	}
 }
 
-// setStable advances the stability frontier: prune the retained log and
-// complete the client acks that were waiting on durability.
+// setStable advances the stability frontier: prune the retained log,
+// complete the client acks that were waiting on durability, and release
+// the read fences the frontier now covers.
 func (b *Broadcaster) setStable(s uint64) {
 	b.stable = s
 	i := 0
@@ -369,18 +713,61 @@ func (b *Broadcaster) setStable(s uint64) {
 			}
 		}
 	}
+	if len(b.fences) > 0 {
+		keep := b.fences[:0]
+		for _, f := range b.fences {
+			if f.seq <= s {
+				f.fn()
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		b.fences = keep
+	}
 }
 
 // --- sequencer ---------------------------------------------------------------
 
 func (b *Broadcaster) onPub(p Pub) {
 	if b.installed && b.isSeq && b.synced {
-		b.sequence(p)
+		if b.batching {
+			b.sequenceBatch(p.Origin, []PubItem{{PubID: p.PubID, Body: p.Body}})
+			b.flushOwnAlong()
+		} else {
+			b.sequence(p)
+		}
 		return
 	}
-	// Hold: this node may be (or become) the sequencer mid-sync. Pubs
-	// held across a view change where it is not are discarded — origins
-	// resubmit on their own installs.
+	b.holdPub(p)
+}
+
+func (b *Broadcaster) onPubBatch(pb PubBatch) {
+	if b.installed && b.isSeq && b.synced {
+		b.sequenceBatch(pb.Origin, pb.Pubs)
+		b.flushOwnAlong()
+		return
+	}
+	for _, it := range pb.Pubs {
+		b.holdPub(Pub{Origin: pb.Origin, PubID: it.PubID, Body: it.Body})
+	}
+}
+
+// flushOwnAlong paces the sequencer's own group-commit queue off the
+// traffic it sequences for everyone else: whenever a remote batch comes
+// through, the queued local pubs ride out right behind it. The sequencer
+// has no in-flight pipeline to pace by (it slots its own pubs the moment
+// they flush), so without this only the size caps or the fallback timer
+// would ship its queue.
+func (b *Broadcaster) flushOwnAlong() {
+	if len(b.pubQueue) > 0 {
+		b.flushPubs()
+	}
+}
+
+// holdPub parks a pub: this node may be (or become) the sequencer
+// mid-sync. Pubs held across a view change where it is not are discarded
+// — origins resubmit on their own installs.
+func (b *Broadcaster) holdPub(p Pub) {
 	if len(b.pubHold) < b.cfg.MaxBuffered {
 		b.pubHold = append(b.pubHold, p)
 	} else {
@@ -388,10 +775,11 @@ func (b *Broadcaster) onPub(p Pub) {
 	}
 }
 
-// sequence assigns the next order slot to a fresh pub and fans it out.
-// The per-origin frontier is a complete duplicate filter: pubs arrive and
-// are re-submitted in PubID order, so each origin's sequenced set is
-// always a PubID prefix and one max suffices.
+// sequence assigns the next order slot to a fresh pub and fans it out as
+// an individual Seqd — the unbatched wire. The per-origin frontier is a
+// complete duplicate filter: pubs arrive and are re-submitted in PubID
+// order, so each origin's sequenced set is always a PubID prefix and one
+// max suffices.
 func (b *Broadcaster) sequence(p Pub) {
 	if p.PubID <= b.applied[p.Origin] {
 		return // duplicate (resubmission raced the original)
@@ -405,6 +793,52 @@ func (b *Broadcaster) sequence(p Pub) {
 		}
 	}
 	b.processEntry(en)
+	b.noteAck(b.self, b.next-1)
+}
+
+// sequenceBatch is the group-commit sequencing step: filter duplicates,
+// assign one contiguous slot range to everything fresh, and fan the range
+// out as a single SeqdBatch carrying the current stability frontier.
+func (b *Broadcaster) sequenceBatch(origin ids.ProcID, items []PubItem) {
+	// Items arrive in PubID order (FIFO channels, sorted resubmission),
+	// so one frontier comparison per item is a complete duplicate filter,
+	// and filtering first keeps the assigned range contiguous.
+	keep := 0
+	for _, it := range items {
+		if it.PubID > b.applied[origin] {
+			items[keep] = it
+			keep++
+		}
+	}
+	if keep == 0 {
+		return
+	}
+	first := b.seqNext
+	ents := make([]SeqdItem, keep)
+	for i, it := range items[:keep] {
+		ents[i] = SeqdItem{Origin: origin, PubID: it.PubID, Body: it.Body}
+	}
+	b.seqNext += uint64(keep)
+	b.stats.Sequenced.Add(uint64(keep))
+	b.stats.SeqdBatches.Add(1)
+	b.stats.BatchHist[histBucket(keep)].Add(1)
+	if b.stableDirty {
+		b.stableDirty = false
+		if b.cancelStable != nil {
+			b.cancelStable()
+			b.cancelStable = nil
+		}
+		b.stats.StablePiggybacked.Add(1)
+	}
+	sb := SeqdBatch{Ver: b.ver, FirstSeq: first, Stable: b.stable, Entries: ents}
+	for _, m := range b.members {
+		if m != b.self {
+			b.n.Send(m, sb)
+		}
+	}
+	for i, it := range ents {
+		b.processEntry(Entry{Ver: b.ver, Seq: first + uint64(i), Origin: origin, PubID: it.PubID, Body: it.Body})
+	}
 	b.noteAck(b.self, b.next-1)
 }
 
@@ -424,7 +858,9 @@ func (b *Broadcaster) noteAck(from ids.ProcID, s uint64) {
 
 // advanceStable recomputes the stability frontier: the minimum contiguous
 // ack over every member of the view. Crossing it triggers the Stable
-// fan-out that lets everyone prune and ack.
+// fan-out that lets everyone prune and ack — broadcast immediately on the
+// unbatched wire, piggybacked on the next SeqdBatch under group commit
+// (with a MaxDelay timer so a quiescent group still learns it).
 func (b *Broadcaster) advanceStable() {
 	min := ^uint64(0)
 	for _, m := range b.members {
@@ -436,9 +872,27 @@ func (b *Broadcaster) advanceStable() {
 		return
 	}
 	b.setStable(min)
+	if !b.batching {
+		b.broadcastStable()
+		return
+	}
+	b.stableDirty = true
+	if b.cancelStable == nil {
+		b.cancelStable = b.n.After(b.cfg.Batch.MaxDelay, func() {
+			b.cancelStable = nil
+			if b.stableDirty && b.installed && b.synced && b.isSeq {
+				b.stableDirty = false
+				b.broadcastStable()
+			}
+		})
+	}
+}
+
+func (b *Broadcaster) broadcastStable() {
+	b.stats.StableBroadcasts.Add(1)
 	for _, m := range b.members {
 		if m != b.self {
-			b.n.Send(m, Stable{Ver: b.ver, Seq: min})
+			b.n.Send(m, Stable{Ver: b.ver, Seq: b.stable})
 		}
 	}
 }
@@ -570,13 +1024,17 @@ func (b *Broadcaster) onViewSync(m ViewSync) {
 		}
 	}
 	b.afterSync()
-	b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.next - 1})
+	b.ackLast = b.next - 1
+	b.stats.AcksSent.Add(1)
+	b.n.Send(b.seqID, AckSeq{Ver: b.ver, Seq: b.ackLast})
 }
 
 // afterSync resolves this origin's in-flight pubs against the freshly
 // opened order: re-assigned ones wait for stability, stable-historical
 // ones complete now, lost ones resubmit — the at-least-once loop that,
-// with the sequencer's duplicate filter, yields exactly-once.
+// with the sequencer's duplicate filter, yields exactly-once. It then
+// re-targets read fences to the new view's covering prefix and flushes
+// the group-commit queue the resubmissions refilled.
 func (b *Broadcaster) afterSync() {
 	ordered := make([]uint64, 0, len(b.inflight))
 	for id := range b.inflight {
@@ -605,7 +1063,11 @@ func (b *Broadcaster) afterSync() {
 		hold := b.pubHold
 		b.pubHold = nil
 		for _, p := range hold {
-			b.sequence(p)
+			if b.batching {
+				b.sequenceBatch(p.Origin, []PubItem{{PubID: p.PubID, Body: p.Body}})
+			} else {
+				b.sequence(p)
+			}
 		}
 	}
 	pre := b.preSync
@@ -613,6 +1075,24 @@ func (b *Broadcaster) afterSync() {
 	for _, fm := range pre {
 		b.HandleApp(fm.from, fm.payload)
 	}
+	// Fences registered before (or during) the change now cover at most
+	// the new view's processed prefix: re-target and release what the
+	// (reset) frontier already covers.
+	if len(b.fences) > 0 {
+		target := b.next - 1
+		if b.stable >= target {
+			fences := b.fences
+			b.fences = nil
+			for _, f := range fences {
+				f.fn()
+			}
+		} else {
+			for i := range b.fences {
+				b.fences[i].seq = target
+			}
+		}
+	}
+	b.flushPubs()
 }
 
 func (b *Broadcaster) appliedList() []Applied {

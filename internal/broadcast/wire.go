@@ -10,12 +10,14 @@ import (
 // Wire kind tags for the broadcast vocabulary, in the substrate range
 // (≥ 16) next to live's Heartbeat (16) and SuspicionDigest (17).
 const (
-	kindPub      = 18
-	kindSeqd     = 19
-	kindAckSeq   = 20
-	kindStable   = 21
-	kindFlush    = 22
-	kindViewSync = 23
+	kindPub       = 18
+	kindSeqd      = 19
+	kindAckSeq    = 20
+	kindStable    = 21
+	kindFlush     = 22
+	kindViewSync  = 23
+	kindPubBatch  = 24
+	kindSeqdBatch = 25
 )
 
 // Pub submits one application message to the view's sequencer. PubID is
@@ -52,6 +54,44 @@ type AckSeq struct {
 type Stable struct {
 	Ver uint64
 	Seq uint64
+}
+
+// PubItem is one queued proposal inside a PubBatch: the origin's pub
+// counter and the application body.
+type PubItem struct {
+	PubID uint64
+	Body  []byte
+}
+
+// PubBatch is the group-commit submission frame: every proposal an origin
+// had queued when its batcher flushed (size-, byte- or time-capped),
+// coalesced into one frame to the view's sequencer. Items are in PubID
+// order; the sequencer's per-origin duplicate filter applies to each item
+// exactly as if it had arrived as an individual Pub.
+type PubBatch struct {
+	Origin ids.ProcID
+	Pubs   []PubItem
+}
+
+// SeqdItem is one sequenced message inside a SeqdBatch; its order slot is
+// implicit — the batch's FirstSeq plus the item's index.
+type SeqdItem struct {
+	Origin ids.ProcID
+	PubID  uint64
+	Body   []byte
+}
+
+// SeqdBatch is the group-commit fan-out frame: a contiguous slot range
+// [FirstSeq, FirstSeq+len(Entries)) of view Ver's total order, assigned in
+// one sequencing step. Stable piggybacks the sequencer's current stability
+// frontier, replacing the separate Stable broadcast on the hot path — a
+// member processes the entries first, then folds the frontier in, exactly
+// the order the unbatched wire (Seqd… then Stable) would have delivered.
+type SeqdBatch struct {
+	Ver      uint64
+	FirstSeq uint64
+	Stable   uint64
+	Entries  []SeqdItem
 }
 
 // Entry is one retained log position: the (Ver, Seq) it was sequenced at
@@ -100,20 +140,24 @@ type ViewSync struct {
 }
 
 // AppTraffic marks the vocabulary for live's application routing.
-func (Pub) AppTraffic()      {}
-func (Seqd) AppTraffic()     {}
-func (AckSeq) AppTraffic()   {}
-func (Stable) AppTraffic()   {}
-func (Flush) AppTraffic()    {}
-func (ViewSync) AppTraffic() {}
+func (Pub) AppTraffic()       {}
+func (Seqd) AppTraffic()      {}
+func (AckSeq) AppTraffic()    {}
+func (Stable) AppTraffic()    {}
+func (Flush) AppTraffic()     {}
+func (ViewSync) AppTraffic()  {}
+func (PubBatch) AppTraffic()  {}
+func (SeqdBatch) AppTraffic() {}
 
 // MsgLabel implements netsim.Labeled for uniform counting.
-func (Pub) MsgLabel() string      { return "B.Pub" }
-func (Seqd) MsgLabel() string     { return "B.Seqd" }
-func (AckSeq) MsgLabel() string   { return "B.AckSeq" }
-func (Stable) MsgLabel() string   { return "B.Stable" }
-func (Flush) MsgLabel() string    { return "B.Flush" }
-func (ViewSync) MsgLabel() string { return "B.ViewSync" }
+func (Pub) MsgLabel() string       { return "B.Pub" }
+func (Seqd) MsgLabel() string      { return "B.Seqd" }
+func (AckSeq) MsgLabel() string    { return "B.AckSeq" }
+func (Stable) MsgLabel() string    { return "B.Stable" }
+func (Flush) MsgLabel() string     { return "B.Flush" }
+func (ViewSync) MsgLabel() string  { return "B.ViewSync" }
+func (PubBatch) MsgLabel() string  { return "B.PubBatch" }
+func (SeqdBatch) MsgLabel() string { return "B.SeqdBatch" }
 
 func encProc(e *transport.Encoder, p ids.ProcID) {
 	e.String(p.Site)
@@ -188,6 +232,8 @@ func init() {
 	transport.RegisterPayload(Stable{})
 	transport.RegisterPayload(Flush{})
 	transport.RegisterPayload(ViewSync{})
+	transport.RegisterPayload(PubBatch{})
+	transport.RegisterPayload(SeqdBatch{})
 
 	transport.RegisterBinaryPayload(kindPub, Pub{},
 		func(e *transport.Encoder, v any) {
@@ -247,6 +293,64 @@ func init() {
 				Applied: decApplied(d),
 				Tail:    decEntries(d),
 			}
+		})
+
+	transport.RegisterBinaryPayload(kindPubBatch, PubBatch{},
+		func(e *transport.Encoder, v any) {
+			pb := v.(PubBatch)
+			encProc(e, pb.Origin)
+			e.Uvarint(uint64(len(pb.Pubs)))
+			for _, p := range pb.Pubs {
+				e.Uvarint(p.PubID)
+				e.Blob(p.Body)
+			}
+		},
+		func(d *transport.Decoder) any {
+			pb := PubBatch{Origin: decProc(d)}
+			n := d.Count(2) // min item: 1-byte pubID + 1-byte blob len
+			if n == 0 {
+				return pb
+			}
+			pb.Pubs = make([]PubItem, 0, n)
+			// One arena for every body in the batch: the remaining input
+			// bounds the total body bytes, so the appends never reallocate
+			// and the whole batch costs one body allocation.
+			arena := make([]byte, 0, d.Remaining())
+			for i := 0; i < n && d.Err() == nil; i++ {
+				it := PubItem{PubID: d.Uvarint()}
+				it.Body, arena = d.BlobInto(arena)
+				pb.Pubs = append(pb.Pubs, it)
+			}
+			return pb
+		})
+
+	transport.RegisterBinaryPayload(kindSeqdBatch, SeqdBatch{},
+		func(e *transport.Encoder, v any) {
+			sb := v.(SeqdBatch)
+			e.Uvarint(sb.Ver)
+			e.Uvarint(sb.FirstSeq)
+			e.Uvarint(sb.Stable)
+			e.Uvarint(uint64(len(sb.Entries)))
+			for _, it := range sb.Entries {
+				encProc(e, it.Origin)
+				e.Uvarint(it.PubID)
+				e.Blob(it.Body)
+			}
+		},
+		func(d *transport.Decoder) any {
+			sb := SeqdBatch{Ver: d.Uvarint(), FirstSeq: d.Uvarint(), Stable: d.Uvarint()}
+			n := d.Count(4) // min item: 2-byte proc + 1-byte pubID + 1-byte blob len
+			if n == 0 {
+				return sb
+			}
+			sb.Entries = make([]SeqdItem, 0, n)
+			arena := make([]byte, 0, d.Remaining())
+			for i := 0; i < n && d.Err() == nil; i++ {
+				it := SeqdItem{Origin: decProc(d), PubID: d.Uvarint()}
+				it.Body, arena = d.BlobInto(arena)
+				sb.Entries = append(sb.Entries, it)
+			}
+			return sb
 		})
 
 	transport.RegisterBinaryPayload(kindViewSync, ViewSync{},

@@ -8,13 +8,25 @@ import (
 	"procgroup/internal/transport"
 )
 
-// wirePayloads covers the whole broadcast vocabulary (kinds 18–23), with
+// wirePayloads covers the whole broadcast vocabulary (kinds 18–25), with
 // populated and zero-valued fields.
 func wirePayloads() []any {
 	px := ids.ProcID{Site: "p3", Incarnation: 2}
 	return []any{
 		Pub{Origin: px, PubID: 7, Body: []byte("set k v")},
 		Pub{Origin: ids.Named("p1")}, // zero PubID, nil body
+		PubBatch{Origin: px, Pubs: []PubItem{
+			{PubID: 7, Body: []byte("set k v")},
+			{PubID: 8, Body: nil}, // empty body mid-batch
+			{PubID: 9, Body: []byte("set k2 w")},
+		}},
+		PubBatch{Origin: ids.Named("p1")}, // empty batch
+		SeqdBatch{Ver: 3, FirstSeq: 12, Stable: 9, Entries: []SeqdItem{
+			{Origin: px, PubID: 7, Body: []byte("set k v")},
+			{Origin: ids.Named("p1"), PubID: 2, Body: nil},
+			{Origin: px, PubID: 8, Body: []byte("z")},
+		}},
+		SeqdBatch{Ver: 4}, // empty range, frontier only
 		Seqd{Ver: 3, Seq: 12, Origin: px, PubID: 7, Body: []byte("set k v")},
 		AckSeq{Ver: 3, Seq: 12},
 		AckSeq{},
@@ -93,6 +105,22 @@ func normalize(f transport.Frame) transport.Frame {
 	case Seqd:
 		v.Body = unempty(v.Body)
 		f.Body = v
+	case PubBatch:
+		if len(v.Pubs) == 0 {
+			v.Pubs = nil
+		}
+		for i := range v.Pubs {
+			v.Pubs[i].Body = unempty(v.Pubs[i].Body)
+		}
+		f.Body = v
+	case SeqdBatch:
+		if len(v.Entries) == 0 {
+			v.Entries = nil
+		}
+		for i := range v.Entries {
+			v.Entries[i].Body = unempty(v.Entries[i].Body)
+		}
+		f.Body = v
 	case Flush:
 		if len(v.Applied) == 0 {
 			v.Applied = nil
@@ -142,4 +170,50 @@ func TestBroadcastWireRejectsCorruption(t *testing.T) {
 	corrupt := append([]byte{}, blob...)
 	corrupt[len(corrupt)-1] = 0xff
 	transport.DecodeFrame(corrupt)
+}
+
+// TestBatchWireRejectsCorruption: the batch frames' truncation behavior,
+// byte by byte, plus arena-decode independence — each decoded body must
+// be its own value, not a window into a neighbor's bytes.
+func TestBatchWireRejectsCorruption(t *testing.T) {
+	px := ids.ProcID{Site: "p3", Incarnation: 2}
+	sb := SeqdBatch{Ver: 3, FirstSeq: 5, Stable: 2, Entries: []SeqdItem{
+		{Origin: px, PubID: 7, Body: []byte("abc")},
+		{Origin: px, PubID: 8, Body: []byte("defg")},
+	}}
+	blob, err := transport.EncodeFrame(transport.Frame{From: "p1", To: "p2", Seq: 1, Body: sb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := transport.DecodeFrame(blob[:n]); err == nil {
+			t.Errorf("SeqdBatch truncated to %d bytes decoded without error", n)
+		}
+	}
+	corrupt := append([]byte{}, blob...)
+	corrupt[len(corrupt)-1] = 0xff // hostile trailing count/length byte
+	transport.DecodeFrame(corrupt)
+
+	out, err := transport.DecodeFrame(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Body.(SeqdBatch)
+	// Appending to one arena-decoded body must not clobber the next one
+	// (BlobInto returns capacity-clipped subslices).
+	_ = append(got.Entries[0].Body, 'X', 'Y', 'Z')
+	if string(got.Entries[1].Body) != "defg" {
+		t.Fatalf("append to entry 0's body corrupted entry 1: %q", got.Entries[1].Body)
+	}
+
+	pb := PubBatch{Origin: px, Pubs: []PubItem{{PubID: 1, Body: []byte("aa")}, {PubID: 2, Body: []byte("bb")}}}
+	blob, err = transport.EncodeFrame(transport.Frame{From: "p1", To: "p2", Seq: 1, Body: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n++ {
+		if _, err := transport.DecodeFrame(blob[:n]); err == nil {
+			t.Errorf("PubBatch truncated to %d bytes decoded without error", n)
+		}
+	}
 }

@@ -34,28 +34,55 @@ type CmdID struct {
 func (r Record) id() CmdID { return CmdID{r.Origin, r.PubID} }
 
 // Recorder captures, per replica, every order position processed — the
-// raw material of the total-order checker. Safe for concurrent use (each
-// replica's event loop appends to its own slice under the lock).
+// raw material of the total-order checker. Safe for concurrent use:
+// storage is sharded per replica, so at recording rates (every order
+// position at every replica) the event loops never contend on a shared
+// lock — each appends to its own shard, and the outer mutex is only taken
+// to look a shard up.
 type Recorder struct {
-	mu  sync.Mutex
-	seq map[ids.ProcID][]Record
+	mu     sync.Mutex
+	shards map[ids.ProcID]*recShard
+}
+
+type recShard struct {
+	mu      sync.Mutex
+	recs    []Record
+	applied int   // running count of applied records
+	last    CmdID // identity of the last applied record
 }
 
 // NewRecorder builds an empty recorder shared by a group's replicas.
 func NewRecorder() *Recorder {
-	return &Recorder{seq: make(map[ids.ProcID][]Record)}
+	return &Recorder{shards: make(map[ids.ProcID]*recShard)}
 }
 
-func (r *Recorder) observe(replica ids.ProcID, m broadcast.Msg, applied bool) {
+// shardFor returns replica's shard, creating it on first use; a Node
+// caches it so the hot observe path takes only the uncontended shard lock.
+func (r *Recorder) shardFor(replica ids.ProcID) *recShard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.shards[replica]
+	if s == nil {
+		s = &recShard{}
+		r.shards[replica] = s
+	}
+	return s
+}
+
+func (s *recShard) observe(m broadcast.Msg, applied bool) {
 	rec := Record{
 		Ver: m.Ver, Seq: m.Seq,
 		Origin: m.Origin, PubID: m.PubID,
 		Body:    append([]byte(nil), m.Body...),
 		Applied: applied,
 	}
-	r.mu.Lock()
-	r.seq[replica] = append(r.seq[replica], rec)
-	r.mu.Unlock()
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	if applied {
+		s.applied++
+		s.last = CmdID{Origin: m.Origin, PubID: m.PubID}
+	}
+	s.mu.Unlock()
 }
 
 // Sequences returns a deep-enough copy of every replica's processed
@@ -63,9 +90,34 @@ func (r *Recorder) observe(replica ids.ProcID, m broadcast.Msg, applied bool) {
 func (r *Recorder) Sequences() map[ids.ProcID][]Record {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[ids.ProcID][]Record, len(r.seq))
-	for p, s := range r.seq {
-		out[p] = append([]Record(nil), s...)
+	out := make(map[ids.ProcID][]Record, len(r.shards))
+	for p, s := range r.shards {
+		s.mu.Lock()
+		out[p] = append([]Record(nil), s.recs...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Frontier is one replica's applied-history summary: how many commands
+// it has applied and the identity of the last one.
+type Frontier struct {
+	Applied int
+	Last    CmdID
+}
+
+// Frontiers summarizes every replica's applied sequence without copying
+// history — the cheap poll for settle/quiesce loops, where Sequences'
+// full deep copy (hundreds of MB under bench load) would dominate the
+// run.
+func (r *Recorder) Frontiers() map[ids.ProcID]Frontier {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ids.ProcID]Frontier, len(r.shards))
+	for p, s := range r.shards {
+		s.mu.Lock()
+		out[p] = Frontier{Applied: s.applied, Last: s.last}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -98,14 +150,29 @@ func AppliedOf(recs []Record) []Record {
 //     slots contiguously from 1, and any two replicas that both
 //     processed a slot of that view saw the same command in it.
 //
+// One exception, straight from the virtual-synchrony model: a replica
+// that did NOT survive to the end may carry a divergent *suffix*. A
+// dying sequencer applies a slot locally the moment it assigns it, so a
+// crash can strand entries it applied that no survivor ever received;
+// the flush cut excludes them, the origins resubmit, and the commands
+// re-sequence into the next view in whatever cross-origin interleaving
+// the resubmissions arrive in. Those entries were never stable, so no
+// client ack depends on them — the durability the checkers guarantee is
+// for acked ops and for survivors. Pairwise comparison involving a dead
+// replica therefore stops at the first mismatch (its post-cut tail);
+// every check over alive replicas remains exact, as does per-view slot
+// agreement (a slot the old view assigned is the same command at every
+// replica that processed it, dead or not).
+//
 // A nil error is the "identical per-view command sequences, no divergence
-// anywhere" verdict the bench report quotes.
+// anywhere among survivors" verdict the bench report quotes.
 func CheckTotalOrder(seqs map[ids.ProcID][]Record, alive []ids.ProcID) error {
 	replicas := make([]ids.ProcID, 0, len(seqs))
 	for p := range seqs {
 		replicas = append(replicas, p)
 	}
 	sort.Slice(replicas, func(i, j int) bool { return replicas[i].Less(replicas[j]) })
+	aliveSet := ids.NewSet(alive...)
 
 	applied := make(map[ids.ProcID][]Record, len(seqs))
 	index := make(map[ids.ProcID]map[CmdID]int, len(seqs))
@@ -140,12 +207,19 @@ func CheckTotalOrder(seqs map[ids.ProcID][]Record, alive []ids.ProcID) error {
 			if !found {
 				continue
 			}
+			bothAlive := aliveSet.Has(p) && aliveSet.Has(q)
 			for j, rec := range b {
 				k := off + j
 				if k < 0 || k >= len(a) {
 					continue
 				}
 				if a[k].id() != rec.id() {
+					if !bothAlive {
+						// A dead replica's post-cut suffix may diverge
+						// (see the doc comment); nothing after the first
+						// mismatch is part of the surviving order.
+						break
+					}
 					return fmt.Errorf("order divergence: %v applied %v/%d at aligned position %d where %v applied %v/%d",
 						q, rec.Origin, rec.PubID, k, p, a[k].Origin, a[k].PubID)
 				}
@@ -221,7 +295,10 @@ func LongestApplied(seqs map[ids.ProcID][]Record) []Record {
 
 // ClientOp is one client-side operation of the KV workload, as the bench
 // or test harness recorded it: what was asked, what came back, and when.
-// Acked ops carry the (Origin, PubID) identity Propose returned.
+// Acked sequenced ops carry the (Origin, PubID) identity Propose
+// returned; acked local reads carry the fence instead — the (Origin,
+// PubID) of the last command applied at the serving replica when the
+// value was captured, naming the order prefix the read reflects.
 type ClientOp struct {
 	Write    bool
 	Key      string
@@ -231,27 +308,53 @@ type ClientOp struct {
 	Invoke   int64 // ns on the harness clock
 	Complete int64
 	Acked    bool
+	Local    bool  // read served locally behind the stability fence
+	Fence    CmdID // local reads only; zero = read of the empty prefix
 }
 
 // CheckKVLinearizable verifies the KV workload's client-visible story
 // against the applied total order:
 //
-//  1. durability — every acked op appears in the order exactly once
-//     (zero acked-write loss);
-//  2. real time — if op A completed before op B was invoked, A precedes
-//     B in the order (no acked write reordered behind a later op, no
-//     stale read after an ack);
+//  1. durability — every acked sequenced op appears in the order exactly
+//     once (zero acked-write loss), and every acked local read's fence
+//     names a command the order contains;
+//  2. real time — if op A completed before op B was invoked, A's
+//     linearization point precedes B's. Sequenced ops linearize at their
+//     order position p; a local read fenced at position p linearizes just
+//     after p (it observed p's effects, and completed only once that
+//     prefix was stable). Encoding points as 2p for sequenced ops and
+//     2p+1 for local reads makes the sweep a single integer comparison:
+//     two local reads may legally share a point (both saw the same
+//     prefix), every other tie is impossible, so any point strictly below
+//     an earlier-completed op's point is a violation — an acked write
+//     reordered behind a later op, or a read that returned state older
+//     than one it was invoked after;
 //  3. read values — replaying the order's commands through a fresh KV,
-//     every acked read returned exactly the replayed state of its key at
-//     its own order position.
+//     every acked sequenced read returned exactly the replayed state of
+//     its key at its own order position, and every acked local read
+//     returned the replayed state of its key just after its fence
+//     position (the empty state for a zero fence).
 //
 // Together with CheckTotalOrder (one agreed order) this is
 // linearizability of the acked history: the order is a legal sequential
-// KV execution consistent with real time.
+// KV execution consistent with real time, in both read modes.
 func CheckKVLinearizable(ops []ClientOp, order []Record) error {
 	pos := make(map[CmdID]int, len(order))
 	for i, rec := range order {
 		pos[rec.id()] = i
+	}
+	// point is an op's linearization point in sweep encoding; ok is false
+	// when the op (or its fence) is missing from the order.
+	point := func(op ClientOp) (int, bool) {
+		if op.Local {
+			if (op.Fence == CmdID{}) {
+				return -1, true // read of the empty prefix
+			}
+			p, ok := pos[op.Fence]
+			return 2*p + 1, ok
+		}
+		p, ok := pos[CmdID{op.Origin, op.PubID}]
+		return 2 * p, ok
 	}
 
 	acked := make([]ClientOp, 0, len(ops))
@@ -262,6 +365,13 @@ func CheckKVLinearizable(ops []ClientOp, order []Record) error {
 	}
 	seen := make(map[CmdID]bool, len(acked))
 	for _, op := range acked {
+		if op.Local {
+			if _, ok := point(op); !ok {
+				return fmt.Errorf("local read of key %q fenced at %v/%d, which is absent from the applied order",
+					op.Key, op.Fence.Origin, op.Fence.PubID)
+			}
+			continue
+		}
 		id := CmdID{op.Origin, op.PubID}
 		if seen[id] {
 			return fmt.Errorf("acked op %v/%d recorded twice by the harness", op.Origin, op.PubID)
@@ -273,42 +383,66 @@ func CheckKVLinearizable(ops []ClientOp, order []Record) error {
 		}
 	}
 
-	// Real-time order: walk acked ops by completion time, tracking the
-	// max order position among ops completed so far; any later-invoked op
-	// must land strictly after all of them.
+	// Real-time order: walk acked ops by invocation time, tracking the max
+	// linearization point among ops completed before each invocation; the
+	// new op's point must not precede any of them.
 	byComplete := append([]ClientOp(nil), acked...)
 	sort.Slice(byComplete, func(i, j int) bool { return byComplete[i].Complete < byComplete[j].Complete })
 	byInvoke := append([]ClientOp(nil), acked...)
 	sort.Slice(byInvoke, func(i, j int) bool { return byInvoke[i].Invoke < byInvoke[j].Invoke })
-	maxPos, ci := -1, 0
+	const noPoint = -2 // below every encoded point, including the empty-prefix read's -1
+	maxPt, ci := noPoint, 0
 	for _, op := range byInvoke {
 		for ci < len(byComplete) && byComplete[ci].Complete < op.Invoke {
-			if p := pos[CmdID{byComplete[ci].Origin, byComplete[ci].PubID}]; p > maxPos {
-				maxPos = p
+			if pt, _ := point(byComplete[ci]); pt > maxPt {
+				maxPt = pt
 			}
 			ci++
 		}
-		if p := pos[CmdID{op.Origin, op.PubID}]; p <= maxPos && maxPos >= 0 {
-			return fmt.Errorf("real-time violation: op %v/%d (key %q) invoked after an op that completed earlier yet ordered at %d ≤ %d",
-				op.Origin, op.PubID, op.Key, p, maxPos)
+		if pt, _ := point(op); pt < maxPt {
+			return fmt.Errorf("real-time violation: op on key %q invoked after an op that completed earlier yet linearized at %d < %d",
+				op.Key, pt, maxPt)
 		}
 	}
 
-	// Read values: replay the order and compare acked reads.
+	// Read values: replay the order; compare sequenced reads at their own
+	// position and local reads just after their fence position.
 	vals := make(map[CmdID]ClientOp, len(acked))
+	localAt := make(map[int][]ClientOp)
 	for _, op := range acked {
+		if op.Local {
+			p := -1
+			if (op.Fence != CmdID{}) {
+				p = pos[op.Fence]
+			}
+			localAt[p] = append(localAt[p], op)
+			continue
+		}
 		vals[CmdID{op.Origin, op.PubID}] = op
 	}
 	kv := NewKV()
-	for _, rec := range order {
-		out := kv.Apply(rec.Body)
-		op, ok := vals[rec.id()]
-		if !ok || op.Write {
-			continue
+	checkLocal := func(p int) error {
+		for _, op := range localAt[p] {
+			if got := kv.Get(op.Key); got != op.Val {
+				return fmt.Errorf("STALE LOCAL READ: key %q read as %q but the order says %q at fence position %d",
+					op.Key, op.Val, got, p)
+			}
 		}
-		if got := string(out); got != op.Val {
-			return fmt.Errorf("STALE READ: %v/%d read key %q as %q but the order says %q at its position",
-				op.Origin, op.PubID, op.Key, op.Val, got)
+		return nil
+	}
+	if err := checkLocal(-1); err != nil {
+		return err
+	}
+	for i, rec := range order {
+		out := kv.Apply(rec.Body)
+		if op, ok := vals[rec.id()]; ok && !op.Write {
+			if got := string(out); got != op.Val {
+				return fmt.Errorf("STALE READ: %v/%d read key %q as %q but the order says %q at its position",
+					op.Origin, op.PubID, op.Key, op.Val, got)
+			}
+		}
+		if err := checkLocal(i); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -55,6 +55,36 @@ func TestCheckTotalOrderCatchesDivergence(t *testing.T) {
 	}
 }
 
+func TestCheckTotalOrderAllowsDeadReplicaDivergentSuffix(t *testing.T) {
+	p1, p2, p3 := ids.Named("p1"), ids.Named("p2"), ids.Named("p3")
+	// p1 was the view-0 sequencer: it applied slots 3 and 4 the moment it
+	// assigned them, then died before the frames reached anyone. The
+	// survivors' flush cut excludes those entries; the origins resubmit
+	// and the commands re-sequence into view 1 in the opposite
+	// cross-origin interleaving. p1's suffix diverges — legitimately.
+	deadSeq := []Record{
+		rec(0, 1, p1, 1, true),
+		rec(0, 2, p2, 1, true),
+		rec(0, 3, p2, 2, true), // stranded: survivors never saw slots 3, 4
+		rec(0, 4, p3, 1, true),
+	}
+	survivor := []Record{
+		rec(0, 1, p1, 1, true),
+		rec(0, 2, p2, 1, true),
+		rec(1, 1, p3, 1, true), // re-sequenced, other interleaving
+		rec(1, 2, p2, 2, true),
+	}
+	seqs := map[ids.ProcID][]Record{p1: deadSeq, p2: survivor, p3: survivor}
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p2, p3}); err != nil {
+		t.Fatalf("dead sequencer's post-cut suffix rejected: %v", err)
+	}
+	// The identical divergence between two replicas both alive at the end
+	// is a real total-order violation.
+	if err := CheckTotalOrder(seqs, []ids.ProcID{p1, p2, p3}); err == nil {
+		t.Fatal("divergent suffix on an alive replica not caught")
+	}
+}
+
 func TestCheckTotalOrderCatchesEndDisagreement(t *testing.T) {
 	p1, p2 := ids.Named("p1"), ids.Named("p2")
 	seqs := map[ids.ProcID][]Record{

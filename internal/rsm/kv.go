@@ -1,8 +1,7 @@
 package rsm
 
 import (
-	"bytes"
-	"encoding/gob"
+	"procgroup/internal/transport"
 )
 
 // KV is the replicated key-value state machine behind examples/kvstore
@@ -80,20 +79,45 @@ func (k *KV) Len() int { return len(k.m) }
 // Get reads a key directly (tests; not part of the replicated path).
 func (k *KV) Get(key string) string { return k.m[key] }
 
-// Snapshot implements StateMachine.
-func (k *KV) Snapshot() []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(k.m); err != nil {
-		return nil
+// ReadLocal implements LocalReader: a Get command is served straight from
+// local state (the Node fences it on stability); anything else must enter
+// the total order.
+func (k *KV) ReadLocal(cmd []byte) ([]byte, bool) {
+	write, key, _, ok := DecodeCmd(cmd)
+	if !ok || write {
+		return nil, false
 	}
-	return buf.Bytes()
+	return []byte(k.m[key]), true
 }
 
-// Restore implements StateMachine.
+// Snapshot implements StateMachine on the repo's binary wire codec:
+// uvarint entry count, then per entry a length-prefixed key and value.
+// ViewSync snapshots grow with KV size, so this rides the same compact
+// primitives as every other hot-path frame instead of gob.
+func (k *KV) Snapshot() []byte {
+	var e transport.Encoder
+	e.Uvarint(uint64(len(k.m)))
+	for key, val := range k.m {
+		e.String(key)
+		e.String(val)
+	}
+	return e.Bytes()
+}
+
+// Restore implements StateMachine. A malformed snapshot restores the
+// longest well-formed prefix (truncation is stream corruption; the joiner
+// re-syncs on the next view anyway).
 func (k *KV) Restore(snap []byte) {
-	m := make(map[string]string)
-	if len(snap) > 0 {
-		_ = gob.NewDecoder(bytes.NewReader(snap)).Decode(&m)
+	d := transport.NewDecoder(snap)
+	n := d.Count(2) // min entry: two 1-byte length prefixes
+	m := make(map[string]string, n)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		key := d.String()
+		val := d.String()
+		if d.Err() != nil {
+			break
+		}
+		m[key] = val
 	}
 	k.m = m
 }

@@ -264,6 +264,11 @@ type Decoder struct {
 	intern map[string]string // optional: long-lived readers dedup strings
 }
 
+// NewDecoder returns a Decoder over b, for sub-encodings that reuse the
+// wire primitives outside a Frame (e.g. application snapshots riding
+// ViewSync).
+func NewDecoder(b []byte) *Decoder { return &Decoder{b: b} }
+
 func (d *Decoder) reset(b []byte) {
 	d.b, d.off, d.err = b, 0, nil
 }
@@ -383,6 +388,28 @@ func (d *Decoder) Blob() []byte {
 	copy(out, d.b[d.off:d.off+int(n)])
 	d.off += int(n)
 	return out
+}
+
+// BlobInto reads a uvarint-length-prefixed byte slice like Blob, but
+// copies it into arena's spare capacity instead of a fresh allocation,
+// returning the blob and the extended arena. Batch codecs size the arena
+// once (total remaining input is an upper bound on total blob bytes) and
+// decode every body into it — one allocation per batch instead of one per
+// element. The returned blob is capacity-clipped, so appends to it cannot
+// clobber a neighbor. An empty blob decodes to nil.
+func (d *Decoder) BlobInto(arena []byte) (blob, out []byte) {
+	n := d.Uvarint()
+	if d.err != nil || n == 0 {
+		return nil, arena
+	}
+	if n > uint64(d.Remaining()) {
+		d.fail("blob")
+		return nil, arena
+	}
+	start := len(arena)
+	arena = append(arena, d.b[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return arena[start:len(arena):len(arena)], arena
 }
 
 // Count reads a slice length and bounds it by the minimum wire size of

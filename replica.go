@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"procgroup/internal/broadcast"
 	"procgroup/internal/live"
 	"procgroup/internal/rsm"
 )
@@ -27,6 +28,29 @@ type (
 	// ReplicaRecorder captures every order position each replica
 	// processes — the raw material of the certification checkers.
 	ReplicaRecorder = rsm.Recorder
+	// BatchConfig tunes group commit on the broadcast hot path: queued
+	// proposals coalesce into one frame, the sequencer assigns contiguous
+	// slot ranges, and stability piggybacks on the fan-out. MaxEntries ≤ 1
+	// is the unbatched legacy wire.
+	BatchConfig = broadcast.BatchConfig
+	// AckConfig coalesces the members' cumulative delivery acks (one ack
+	// per B entries or T window instead of one per entry).
+	AckConfig = broadcast.AckConfig
+	// ReadConcern selects a Read's path: ReadLocal (stability-fenced local
+	// execution) or ReadLinearizable (sequenced through total order).
+	ReadConcern = rsm.ReadConcern
+	// ReadResult is one Read's response plus the identity the
+	// certification harness correlates it with.
+	ReadResult = rsm.ReadResult
+	// ReplicaStats is one replica's broadcast and read-path counters;
+	// ReplicaSet.Stats sums them across the group.
+	ReplicaStats = rsm.Stats
+)
+
+// Read-path concerns (see rsm.ReadConcern).
+const (
+	ReadLocal        = rsm.ReadLocal
+	ReadLinearizable = rsm.ReadLinearizable
 )
 
 // ReplicaSet hosts one StateMachine replica per group member. Set
@@ -38,6 +62,8 @@ type (
 type ReplicaSet struct {
 	machine func() StateMachine
 	rec     *rsm.Recorder
+	batch   BatchConfig
+	ack     AckConfig
 
 	mu    sync.Mutex
 	nodes map[ProcID]*Replica
@@ -60,10 +86,25 @@ func NewReplicatedKV() *ReplicaSet {
 	return NewReplicaSet(func() StateMachine { return rsm.NewKV() })
 }
 
+// WithBatching sets the group-commit configuration applied to every
+// replica spawned after the call (DESIGN.md §12). Call before StartGroup;
+// returns the set for chaining.
+func (s *ReplicaSet) WithBatching(batch BatchConfig, ack AckConfig) *ReplicaSet {
+	s.batch, s.ack = batch, ack
+	return s
+}
+
 // Factory is the AppHookFactory to set on GroupOptions.App.
 func (s *ReplicaSet) Factory() AppHookFactory {
 	return func(n AppNode) AppHook {
-		node := rsm.NewNode(n, rsm.Config{Machine: s.machine(), Recorder: s.rec})
+		node := rsm.NewNode(n, rsm.Config{
+			Machine:  s.machine(),
+			Recorder: s.rec,
+			Broadcast: broadcast.Config{
+				Batch: s.batch,
+				Ack:   s.ack,
+			},
+		})
 		s.mu.Lock()
 		s.nodes[n.ID()] = node
 		s.mu.Unlock()
@@ -80,6 +121,20 @@ func (s *ReplicaSet) Replica(p ProcID) *Replica {
 
 // Recorder exposes the shared order recorder for the checkers.
 func (s *ReplicaSet) Recorder() *ReplicaRecorder { return s.rec }
+
+// Stats sums the broadcast and read-path counters over every replica
+// spawned so far — batch-size histogram, acks sent/suppressed, stability
+// piggybacks, local vs sequenced reads — the replication analogue of
+// Group.TransportStats.
+func (s *ReplicaSet) Stats() ReplicaStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum ReplicaStats
+	for _, n := range s.nodes {
+		sum = sum.Add(n.Stats())
+	}
+	return sum
+}
 
 // CheckTotalOrder certifies the recorded histories: every replica applied
 // the same total order (exactly-once, pairwise consistent under joiner
@@ -107,4 +162,16 @@ func (s *ReplicaSet) Propose(p ProcID, cmd []byte, timeout time.Duration) ([]byt
 	}
 	resp, _, err := n.Propose(cmd, timeout)
 	return resp, err
+}
+
+// Read executes a read-only command at member p under the given concern.
+// ReadLocal serves it from p's state behind the stability fence — no
+// total-order traffic — falling back to the sequenced path when local
+// state is not fenceable; ReadLinearizable always sequences.
+func (s *ReplicaSet) Read(p ProcID, cmd []byte, rc ReadConcern, timeout time.Duration) (ReadResult, error) {
+	n := s.Replica(p)
+	if n == nil {
+		return ReadResult{}, rsm.ErrTimeout
+	}
+	return n.Read(cmd, rc, timeout)
 }
