@@ -26,6 +26,7 @@ import (
 
 	"procgroup/internal/broadcast"
 	"procgroup/internal/check"
+	"procgroup/internal/fd"
 	"procgroup/internal/ids"
 	"procgroup/internal/live"
 	"procgroup/internal/member"
@@ -58,14 +59,17 @@ func kvFlags() {
 
 const (
 	kvHeartbeat = 10 * time.Millisecond
-	// SuspectAfter needs headroom over the longest heartbeat gap the
-	// LOAD can cause, not just the wire: on one core, applying a burst
-	// of full batches can starve a member's event loop long enough that
-	// a tight threshold reads as silence, a false suspicion cascades
-	// (§4.3), and an innocent member stands down mid-arm. 250ms keeps
-	// the real kill's detection well inside the post-fault window while
-	// staying far above scheduling noise.
-	kvSuspectAfter = 250 * time.Millisecond
+	// On one core, applying a burst of full batches can starve a
+	// member's event loop long enough that a tight threshold reads as
+	// silence, a false suspicion cascades (§4.3), and an innocent member
+	// stands down mid-arm. The defense is no longer a slack threshold
+	// (this was 250ms): the threshold stays tight for real kills and the
+	// hysteresis dwell absorbs the starvation transient — a crossing
+	// must survive kvDwell of continuous silence before it surfaces, so
+	// a stalled-then-resumed member is forgiven while a dead one is
+	// still detected in kvSuspectAfter + kvDwell.
+	kvSuspectAfter = 80 * time.Millisecond
+	kvDwell        = 120 * time.Millisecond
 	kvOpTimeout    = 20 * time.Second
 )
 
@@ -120,6 +124,7 @@ type kvReport struct {
 	LoadMs       float64  `json:"load_ms"`
 	HeartbeatMs  float64  `json:"heartbeat_ms"`
 	SuspectMs    float64  `json:"suspect_after_ms"`
+	DwellMs      float64  `json:"hysteresis_dwell_ms"`
 	Transport    string   `json:"transport"`
 	BatchSweep   []int    `json:"batch_sweep"`
 	Arms         []kvArm  `json:"arms"`
@@ -170,7 +175,11 @@ func startKVHarness(n int, bc broadcast.Config) *kvHarness {
 		N:              n,
 		HeartbeatEvery: kvHeartbeat,
 		SuspectAfter:   kvSuspectAfter,
-		Transport:      transport.NewTwoPlane(transport.NewTCP(), transport.NewUDP()),
+		Detector: fd.NewHysteresisFactory(
+			fd.NewTimeoutFactory(kvSuspectAfter),
+			fd.HysteresisOptions{Dwell: kvDwell, FlapPenalty: 1},
+		),
+		Transport: transport.NewTwoPlane(transport.NewTCP(), transport.NewUDP()),
 		App: func(an live.AppNode) live.AppHook {
 			node := rsm.NewNode(an, rsm.Config{Machine: rsm.NewKV(), Recorder: h.rec, Broadcast: bc})
 			h.mu.Lock()
@@ -500,6 +509,7 @@ func kvPerf(seed int64) {
 		LoadMs:      float64(kvLoad) / float64(time.Millisecond),
 		HeartbeatMs: float64(kvHeartbeat) / float64(time.Millisecond),
 		SuspectMs:   float64(kvSuspectAfter) / float64(time.Millisecond),
+		DwellMs:     float64(kvDwell) / float64(time.Millisecond),
 		Transport:   "two-plane: UDP beacons + TCP streams",
 		BatchSweep:  caps,
 		FloorOps:    kvFloor,

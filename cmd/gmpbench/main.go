@@ -41,6 +41,7 @@ func main() {
 	mprocFlags()
 	satFlags()
 	kvFlags()
+	qosFlags()
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 		fmt.Println()
 	}
 	run("fd", fdPerf)
+	run("qos", qosPerf)
 	run("scale", scalePerf)
 	run("kv", kvPerf)
 }

@@ -94,8 +94,16 @@ type Stats struct {
 	BufferedFuture  atomic.Uint64 // messages parked for a future view
 	DroppedStale    atomic.Uint64 // old-view messages dropped
 	DroppedOverflow atomic.Uint64 // future-view messages dropped at cap
-	Resubmits       atomic.Uint64 // pubs resubmitted after a view change
-	Syncs           atomic.Uint64 // ViewSync rounds completed here
+	// OverflowDist buckets the overflow drops by how many views past the
+	// current one the dropped frame was addressed to: 1, 2, 3, ≥4.
+	// Eviction is farthest-future-first, so under a churn storm the mass
+	// should sit in the high buckets — drops at distance 1 starving a
+	// pending install's ViewSync are the bias this histogram makes
+	// visible. Frames dropped before the first install (no reference
+	// view) count in the first bucket.
+	OverflowDist [4]atomic.Uint64
+	Resubmits    atomic.Uint64 // pubs resubmitted after a view change
+	Syncs        atomic.Uint64 // ViewSync rounds completed here
 
 	PubBatches  atomic.Uint64 // PubBatch flushes sent as origin
 	SeqdBatches atomic.Uint64 // SeqdBatch fan-outs sent as sequencer
@@ -119,6 +127,7 @@ type StatsSnapshot struct {
 	Sequenced, Processed, Applied       uint64
 	BufferedFuture                      uint64
 	DroppedStale, DroppedOverflow       uint64
+	OverflowDist                        [4]uint64
 	Resubmits, Syncs                    uint64
 	PubBatches, SeqdBatches             uint64
 	BatchHist                           [5]uint64
@@ -142,6 +151,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	for i := range s.BatchHist {
 		out.BatchHist[i] = s.BatchHist[i].Load()
 	}
+	for i := range s.OverflowDist {
+		out.OverflowDist[i] = s.OverflowDist[i].Load()
+	}
 	return out
 }
 
@@ -153,6 +165,9 @@ func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
 	a.BufferedFuture += b.BufferedFuture
 	a.DroppedStale += b.DroppedStale
 	a.DroppedOverflow += b.DroppedOverflow
+	for i := range a.OverflowDist {
+		a.OverflowDist[i] += b.OverflowDist[i]
+	}
 	a.Resubmits += b.Resubmits
 	a.Syncs += b.Syncs
 	a.PubBatches += b.PubBatches
@@ -472,8 +487,29 @@ func (b *Broadcaster) route(ver uint64, from ids.ProcID, payload any) bool {
 	}
 	if !b.installed || ver > b.ver {
 		if b.futureN >= b.cfg.MaxBuffered {
+			// Farthest-future first. Rejecting the *incoming* frame
+			// regardless of version let parked far-future junk starve a
+			// near-future view's ViewSync/flush traffic during a churn
+			// storm — exactly the frames the next install needs to
+			// replay. When the incoming frame is nearer than the
+			// farthest parked view, evict one frame from that view
+			// instead (its newest, preserving the survivors' FIFO
+			// order); otherwise the incoming frame is the junk.
+			far := b.farthestFuture()
+			if far <= ver {
+				b.stats.DroppedOverflow.Add(1)
+				b.noteOverflow(ver)
+				return false
+			}
+			q := b.future[far]
+			if len(q) == 1 {
+				delete(b.future, far)
+			} else {
+				b.future[far] = q[:len(q)-1]
+			}
+			b.futureN--
 			b.stats.DroppedOverflow.Add(1)
-			return false
+			b.noteOverflow(far)
 		}
 		b.future[ver] = append(b.future[ver], futureMsg{from: from, payload: payload})
 		b.futureN++
@@ -482,6 +518,34 @@ func (b *Broadcaster) route(ver uint64, from ids.ProcID, payload any) bool {
 	}
 	b.stats.DroppedStale.Add(1)
 	return false
+}
+
+// farthestFuture returns the highest view version currently parked, or 0
+// when the buffer is empty. Only called on the overflow path, so the
+// linear scan over distinct parked versions is off the hot path.
+func (b *Broadcaster) farthestFuture() uint64 {
+	var far uint64
+	for ver := range b.future {
+		if ver > far {
+			far = ver
+		}
+	}
+	return far
+}
+
+// noteOverflow buckets an overflow drop by the dropped frame's view
+// distance from the current view (1, 2, 3, ≥4; pre-install drops count
+// as distance 1).
+func (b *Broadcaster) noteOverflow(ver uint64) {
+	d := uint64(1)
+	if b.installed && ver > b.ver {
+		d = ver - b.ver
+	}
+	i := int(d - 1)
+	if i > len(b.stats.OverflowDist)-1 {
+		i = len(b.stats.OverflowDist) - 1
+	}
+	b.stats.OverflowDist[i].Add(1)
 }
 
 // HandleInstall opens a new view (event loop): reset per-view state,

@@ -128,6 +128,83 @@ func TestFutureBufferOverflowCapped(t *testing.T) {
 	}
 }
 
+func TestFutureBufferOverflowEvictsFarthestFirst(t *testing.T) {
+	// Churn-storm shape: the buffer fills with far-future junk (view 9),
+	// then the traffic the very next install needs (view 1) arrives. The
+	// old rule rejected the incoming frame regardless of version; now the
+	// near-future frame must displace a far-future one.
+	fn := &fakeNode{id: proc("p2")}
+	var got []Msg
+	b := New(fn, Config{MaxBuffered: 8, Deliver: func(m Msg) { got = append(got, m) }})
+	seq := proc("p1")
+	members := []ids.ProcID{seq, proc("p2")}
+	b.HandleInstall(0, members)
+	b.HandleApp(seq, ViewSync{Ver: 0, HasSnap: true})
+
+	px := proc("p9")
+	for i := 0; i < 8; i++ {
+		b.HandleApp(seq, Seqd(entry(9, uint64(i+1), px, uint64(i+1))))
+	}
+	// The near-future view's sync + first entry arrive at a full buffer.
+	b.HandleApp(seq, ViewSync{Ver: 1, Entries: []Entry{entry(1, 1, px, 41)}})
+	b.HandleApp(seq, Seqd(entry(1, 2, px, 42)))
+
+	if n := b.futureN; n != 8 {
+		t.Fatalf("futureN = %d, want cap 8", n)
+	}
+	if n := b.stats.DroppedOverflow.Load(); n != 2 {
+		t.Fatalf("DroppedOverflow = %d, want 2 (both evicted from view 9)", n)
+	}
+	// Both drops were at distance ≥4 (view 9 from view 0).
+	if n := b.stats.OverflowDist[3].Load(); n != 2 {
+		t.Fatalf("OverflowDist[≥4] = %d, want 2", n)
+	}
+	if n := b.stats.OverflowDist[0].Load(); n != 0 {
+		t.Fatalf("OverflowDist[1] = %d, want 0 — the near-future frames must not be the drops", n)
+	}
+
+	// Install view 1: the parked ViewSync and Seqd replay in order.
+	b.HandleInstall(1, members)
+	if len(got) != 2 || got[0].PubID != 41 || got[1].PubID != 42 {
+		t.Fatalf("view-1 replay delivered %v, want px/41 then px/42", got)
+	}
+
+	// The surviving view-9 frames are the 6 oldest (FIFO prefix intact):
+	// seqs 1..6 remain, 7 and 8 were evicted newest-first.
+	if q := b.future[9]; len(q) != 6 {
+		t.Fatalf("view-9 buffer holds %d frames, want 6", len(q))
+	} else {
+		for i, fm := range q {
+			if e := fm.payload.(Seqd); e.Seq != uint64(i+1) {
+				t.Fatalf("view-9 survivor %d has seq %d, want %d (FIFO prefix broken)", i, e.Seq, i+1)
+			}
+		}
+	}
+}
+
+func TestFutureBufferOverflowFarIncomingStillDropped(t *testing.T) {
+	// When the incoming frame is as far as (or farther than) anything
+	// parked, it is itself the junk: drop it, don't churn the buffer.
+	fn := &fakeNode{id: proc("p2")}
+	b := New(fn, Config{MaxBuffered: 4})
+	seq := proc("p1")
+	b.HandleInstall(0, []ids.ProcID{seq, proc("p2")})
+	px := proc("p9")
+	for i := 0; i < 4; i++ {
+		b.HandleApp(seq, Seqd(entry(3, uint64(i+1), px, uint64(i+1))))
+	}
+	b.HandleApp(seq, Seqd(entry(7, 1, px, 9)))
+	if _, ok := b.future[7]; ok {
+		t.Fatal("farther-future frame displaced nearer parked traffic")
+	}
+	if n := b.stats.DroppedOverflow.Load(); n != 1 {
+		t.Fatalf("DroppedOverflow = %d, want 1", n)
+	}
+	if n := b.stats.OverflowDist[3].Load(); n != 1 {
+		t.Fatalf("OverflowDist[≥4] = %d, want 1 (the view-7 frame)", n)
+	}
+}
+
 func TestSkippedInstallDropsIntermediateBuffer(t *testing.T) {
 	// A reconfiguration can batch several ops into one install, so a
 	// member may never install some intermediate version: anything parked

@@ -91,6 +91,28 @@ type SuspicionGossiper interface {
 	GossipSuspicion(q ids.ProcID, level float64)
 }
 
+// ReadmissionGovernor is an optional Env extension that rate-limits
+// readmissions. The paper's join path (§7) admits any recovered process
+// whenever the coordinator learns of it — correct under crash-stop, but a
+// *flapping* process (repeatedly excluded by timing mistakes, rejoining
+// with a fresh incarnation each time) then drives one reconfiguration per
+// flap, and every reconfiguration is a majority round the whole group
+// pays for. Environments that implement this extension get consulted
+// before the coordinator draws an Add from Recovered(Mgr); a vetoed
+// joiner simply stays queued — the coordinator re-consults on later
+// steps (join retries re-trigger them, and the environment may Poke), so
+// admission is delayed, never denied. Exclusion safety is untouched:
+// only Adds are governed.
+type ReadmissionGovernor interface {
+	// AdmitJoiner reports whether the coordinator may admit q now. The
+	// environment owns the policy (the live runtime meters a token
+	// bucket per site name); returning false defers the add. The method
+	// may be called several times for one admission (round chaining,
+	// reconfiguration), so implementations must treat a grant as open
+	// until the add commits rather than charging each call.
+	AdmitJoiner(q ids.ProcID) bool
+}
+
 // Config tunes which variant of the algorithm a node runs.
 type Config struct {
 	// Compression enables §3.1's condensed rounds: a commit carrying a

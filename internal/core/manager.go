@@ -17,10 +17,17 @@ import (
 // before exclusions as Fig. 8 does. exclude lists targets that must be
 // skipped (reconfiguration uses it to avoid re-proposing its own RL).
 // It never mutates the queues: entries leave Faulty/Recovered only when the
-// operation commits.
+// operation commits. Adds additionally pass the environment's readmission
+// governor, if any: a vetoed joiner is skipped this scan — staying in
+// Recovered(Mgr) for a later one — and never blocks the exclusions
+// queued behind it.
 func (n *Node) nextOp(exclude ids.Set) member.Op {
+	gov, governed := n.env.(ReadmissionGovernor)
 	for _, r := range n.recovered.Sorted() {
 		if !n.view.Has(r) && (exclude == nil || !exclude.Has(r)) {
+			if governed && !gov.AdmitJoiner(r) {
+				continue
+			}
 			return member.Add(r)
 		}
 	}

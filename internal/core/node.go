@@ -582,6 +582,14 @@ func (n *Node) step() {
 // isCoordinatorRole reports whether this node currently drives updates.
 func (n *Node) isCoordinatorRole() bool { return n.mgr == n.id }
 
+// Poke re-runs the enabled-actions scan. Protocol handlers step the node
+// themselves; Poke exists for environments whose optional extensions gate
+// actions on the passage of time — a readmission governor whose token
+// bucket has refilled calls it so a deferred join is re-considered
+// without waiting for the next protocol message. Harmless when nothing
+// has changed.
+func (n *Node) Poke() { n.step() }
+
 // expectedInitiator returns the most senior view member this node does
 // not believe faulty — the process that will (by rank) drive the next
 // reconfiguration, per Table 1's "the most senior operational process

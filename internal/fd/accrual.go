@@ -40,6 +40,15 @@ type AccrualOptions struct {
 	// zero width (and every OS scheduling hiccup into a suspicion).
 	// Default 1ms.
 	MinStdDev time.Duration
+	// MaxSample bounds the inter-arrival gap admitted into the window as
+	// a cadence sample. A gap longer than this spans a stall (ours or the
+	// peer's) rather than measuring beacon cadence; before this guard,
+	// one giant post-stall interval entered the 128-sample ring and
+	// inflated σ — and thus patience toward genuinely dead peers — for
+	// the lifetime of the whole window. Oversized gaps still refresh the
+	// liveness clock; they just contribute no sample. Groups whose beacon
+	// interval approaches Fallback should raise this. Default: Fallback.
+	MaxSample time.Duration
 }
 
 func (o AccrualOptions) withDefaults() AccrualOptions {
@@ -57,6 +66,9 @@ func (o AccrualOptions) withDefaults() AccrualOptions {
 	}
 	if o.MinStdDev <= 0 {
 		o.MinStdDev = time.Millisecond
+	}
+	if o.MaxSample <= 0 {
+		o.MaxSample = o.Fallback
 	}
 	return o
 }
@@ -135,9 +147,12 @@ func (d *Accrual) ObserveBeacon(q ids.ProcID, at time.Time) {
 	// Only a gap measured from previous *traffic* is a cadence sample: a
 	// peer just registered (by track here, or by an earlier Suspect
 	// check) would otherwise contribute a zero-length or
-	// registration-relative interval and bias the fit low.
+	// registration-relative interval and bias the fit low. And only a gap
+	// within MaxSample measures cadence: a longer one spans a stall, and
+	// admitting it would inflate σ for the whole window (the post-stall
+	// pollution E22's stall arms exercise).
 	if st.seen {
-		if iv := at.Sub(st.last).Seconds(); iv >= 0 {
+		if iv := at.Sub(st.last).Seconds(); iv >= 0 && iv <= d.opts.MaxSample.Seconds() {
 			st.push(iv)
 		}
 	}

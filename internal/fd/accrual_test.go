@@ -227,6 +227,33 @@ func TestAccrualRearmDoesNotAnchorSamples(t *testing.T) {
 	}
 }
 
+func TestAccrualStallGapDoesNotInflateWindow(t *testing.T) {
+	// A beacon gap that spans a stall (500ms on a 2ms link — ours or the
+	// peer's, either way not cadence) must not enter the ring: one such
+	// sample would inflate σ to tens of ms and leave the detector blind
+	// to real crashes for the remaining lifetime of the 128-sample
+	// window. MaxSample (= Fallback here) discards it; the gap still
+	// refreshes the liveness clock.
+	d := NewAccrual(AccrualOptions{Fallback: 20 * time.Millisecond})
+	q := ids.Named("q")
+	last := feed(d, q, t0, 2*time.Millisecond, 100)
+
+	// The stall: one beacon 500ms late, then cadence resumes.
+	resume := last.Add(500 * time.Millisecond)
+	last = feed(d, q, resume, 2*time.Millisecond, 10)
+
+	// Liveness recovered…
+	if d.Suspect(q, last.Add(4*time.Millisecond)) {
+		t.Error("suspected at 2× cadence after the stall cleared")
+	}
+	// …and the fit still reflects the 2ms cadence: a dead peer is caught
+	// on the steady-state schedule. With the 0.5s outlier in the window,
+	// σ≈44ms would keep even 100ms of silence unsuspicious.
+	if !d.Suspect(q, last.Add(12*time.Millisecond)) {
+		t.Error("stall-spanning interval entered the window and inflated σ")
+	}
+}
+
 func TestAccrualWindowSlides(t *testing.T) {
 	// With a small window, old behavior ages out: a link that migrates
 	// from 20ms to 2ms beacons tightens its threshold accordingly.

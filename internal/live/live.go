@@ -80,6 +80,12 @@ type Options struct {
 	UpdateBuffer int
 	// Digests selects suspicion-digest dissemination (see DigestMode).
 	Digests DigestMode
+	// Readmit rate-limits readmission of recently excluded sites (see
+	// ReadmitPolicy): the coordinator defers a rejoining incarnation
+	// whose site has exhausted its token bucket, so a flapping node
+	// cannot force endless reconfigurations. The zero value disables
+	// the governor, the pre-governor behavior.
+	Readmit ReadmitPolicy
 	// App, when set, attaches an application layer to every node: the
 	// factory runs once per spawned process (before its loop starts) and
 	// the resulting AppHook receives AppTraffic payloads and view
@@ -140,6 +146,9 @@ type Cluster struct {
 	digests bool
 
 	dropped atomic.Int64 // installs lost to a full updates stream
+	// readmitDeferred counts joins the readmission governor deferred
+	// (each deferral is one reconfiguration that did NOT happen yet).
+	readmitDeferred atomic.Int64
 
 	mu      sync.Mutex
 	nodes   map[ids.ProcID]*liveNode
@@ -195,6 +204,11 @@ type liveNode struct {
 	lastSent   map[ids.ProcID]time.Time // last frame sent per peer (beacon piggybacking)
 	lastBeat   time.Time                // previous liveness-wheel pass (stall guard)
 	app        AppHook                  // application layer (Options.App), nil when unset
+	// gov is the readmission governor (nil when Options.Readmit is zero)
+	// and govWakeArmed whether a deferred-join recheck timer is pending;
+	// both loop-owned.
+	gov          *readmitGov
+	govWakeArmed bool
 }
 
 // wheelEntry is one member's role in a node's liveness wheel.
@@ -341,6 +355,7 @@ func (c *Cluster) spawnLocked(p ids.ProcID, cfg core.Config) *liveNode {
 		lastSent:   make(map[ids.ProcID]time.Time),
 		digestOut:  make(map[ids.ProcID]*digestPending),
 		digestSeen: ids.NewSet(),
+		gov:        newReadmitGov(c.opts.Readmit),
 	}
 	ln.node = core.New(p, (*liveEnv)(ln), cfg)
 	if err := c.tr.Register(p, ln.deliver); err != nil {
@@ -647,8 +662,37 @@ func (e *liveEnv) RecordLevel(k event.Kind, other ids.ProcID, level float64) {
 	ln.c.rec.RecordInternalLevel(ln.id, k, other, level)
 }
 
+// AdmitJoiner implements core.ReadmissionGovernor: the coordinator's
+// pre-Add gate. A deferral counts on Cluster.ReadmitDeferred and arms a
+// one-shot recheck timer for when the site's token accrues — the joiner
+// is sitting in Recovered(Mgr) with no protocol traffic guaranteed to
+// re-trigger the scan, so the governor pokes the node itself.
+func (e *liveEnv) AdmitJoiner(q ids.ProcID) bool {
+	ln := (*liveNode)(e)
+	ok, wait := ln.gov.admit(q, time.Now())
+	if !ok {
+		ln.c.readmitDeferred.Add(1)
+		if !ln.govWakeArmed {
+			ln.govWakeArmed = true
+			time.AfterFunc(wait+time.Millisecond, func() {
+				ln.box.put(envelope{fn: func() {
+					ln.govWakeArmed = false
+					ln.node.Poke()
+				}})
+			})
+		}
+	}
+	return ok
+}
+
 func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln := (*liveNode)(e)
+	now := time.Now()
+	// The governor observes exclusions (and consumes grants) by diffing
+	// successive installs — before the wheel refresh so the diff uses
+	// this install's membership exactly once.
+	ln.gov.noteInstall(members, now)
+	oldWatch := ln.watchSet
 	// Refresh the liveness wheel from the monitoring topology
 	// (loop-owned): recomputing on every install is what re-closes a
 	// partial topology around excluded members. Detector state is
@@ -665,6 +709,19 @@ func (e *liveEnv) RecordInstall(ver member.Version, members []ids.ProcID) {
 	ln.gossip = ln.c.digests && ln.relayPartial
 	ln.pruneDigests(ids.NewSet(members...))
 	ln.det.Retain(ln.watch)
+	// A member entering the watch set starts with a fresh silence clock.
+	// Its last observation may be arbitrarily stale: a joiner's
+	// sponsorship traffic is observed when it asks to join, which can be
+	// long before its add commits (the readmission governor deferring it
+	// stretches that gap past any threshold), and charging the wait as
+	// silence would suspect the newcomer on the first wheel pass after
+	// its own admission. Rearm refreshes the clock without feeding the
+	// gap to an adaptive detector's arrival statistics.
+	for _, q := range ln.watch {
+		if !oldWatch.Has(q) {
+			ln.det.Rearm(q, now)
+		}
+	}
 	for q := range ln.lastSent {
 		if !ln.beaconSet.Has(q) {
 			delete(ln.lastSent, q)
@@ -720,6 +777,11 @@ func (c *Cluster) Updates() <-chan ViewUpdate { return c.updates }
 // was full. A nonzero count means subscribers fell behind by more than
 // Options.UpdateBuffer installs.
 func (c *Cluster) Dropped() int64 { return c.dropped.Load() }
+
+// ReadmitDeferred reports how many joins the readmission governor has
+// deferred across the cluster so far — each one a reconfiguration the
+// rate-limit pushed back. Always 0 with Options.Readmit unset.
+func (c *Cluster) ReadmitDeferred() int64 { return c.readmitDeferred.Load() }
 
 // TransportStats reports the substrate's per-reason drop counters —
 // Dropped's sibling one layer down: Dropped counts view updates lost to a

@@ -1,0 +1,148 @@
+package live
+
+// Readmission governance: the second half of the false-suspicion-cascade
+// fix. Hysteresis (internal/fd) keeps most timing mistakes from surfacing
+// at all; this layer bounds the damage when one does. A member excluded
+// by mistake quits itself (Fig. 2) and rejoins as a fresh incarnation of
+// the same site — and a site that keeps flapping would otherwise drive
+// one full majority-gated reconfiguration per flap, forever. The governor
+// meters readmission with a token bucket per *site name* (the stable part
+// of ids.ProcID — exactly what survives across incarnations), consulted
+// by the coordinator through the core.ReadmissionGovernor seam before it
+// draws an Add. A deferred joiner stays queued in Recovered(Mgr) and is
+// admitted when the bucket refills; the join is delayed, never denied, so
+// F-admission liveness is preserved while the reconfiguration rate under
+// sustained flapping is capped at Burst + elapsed/MinInterval per site.
+
+import (
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+// ReadmitPolicy tunes the readmission governor. The zero value disables
+// it (every join admitted immediately, the pre-governor behavior).
+type ReadmitPolicy struct {
+	// MinInterval is the steady-state spacing between admissions of the
+	// same recently excluded site: its token bucket refills one token per
+	// MinInterval. Zero disables the governor.
+	MinInterval time.Duration
+	// Burst is the bucket capacity (default 1): how many readmissions a
+	// just-excluded site gets before the rate-limit bites. The first
+	// exclusion fills the bucket, so a genuinely crashed member that
+	// restarts once is admitted without delay.
+	Burst int
+	// Forget expires a site's exclusion record this long after its last
+	// exclusion: a site that stopped flapping rejoins ungoverned.
+	// Default 10 × MinInterval.
+	Forget time.Duration
+}
+
+func (p ReadmitPolicy) withDefaults() ReadmitPolicy {
+	if p.MinInterval <= 0 {
+		return p
+	}
+	if p.Burst <= 0 {
+		p.Burst = 1
+	}
+	if p.Forget <= 0 {
+		p.Forget = 10 * p.MinInterval
+	}
+	return p
+}
+
+func (p ReadmitPolicy) enabled() bool { return p.MinInterval > 0 }
+
+// readmitGov is one node's governor state. Loop-owned like the detector:
+// every node tracks exclusions (cheap — one record per recently excluded
+// site), so whichever member is coordinator when a rejoin arrives has the
+// history to meter it.
+type readmitGov struct {
+	pol     ReadmitPolicy
+	sites   map[string]*readmitSite
+	members ids.Set // previous install, diffed to observe exclusions
+}
+
+// readmitSite is one site's bucket. authorized holds the incarnation with
+// an open grant: AdmitJoiner may be re-consulted several times before the
+// add commits (round chaining, reconfiguration), and only the first grant
+// pays a token.
+type readmitSite struct {
+	tokens     float64
+	refillAt   time.Time
+	excludedAt time.Time
+	authorized ids.ProcID
+}
+
+func newReadmitGov(pol ReadmitPolicy) *readmitGov {
+	pol = pol.withDefaults()
+	if !pol.enabled() {
+		return nil
+	}
+	return &readmitGov{pol: pol, sites: make(map[string]*readmitSite)}
+}
+
+// noteInstall diffs the freshly installed membership against the previous
+// one: members that left are stamped excluded (opening or refreshing
+// their site's governed window), members that arrived consume their open
+// grant. A nil governor records nothing.
+func (g *readmitGov) noteInstall(members []ids.ProcID, now time.Time) {
+	if g == nil {
+		return
+	}
+	cur := ids.NewSet(members...)
+	for q := range g.members {
+		if cur.Has(q) {
+			continue
+		}
+		rec, ok := g.sites[q.Site]
+		if !ok {
+			// First exclusion: a full bucket, so a one-off crash-and-
+			// restart is admitted without delay.
+			rec = &readmitSite{tokens: float64(g.pol.Burst), refillAt: now}
+			g.sites[q.Site] = rec
+		}
+		rec.excludedAt = now
+		rec.authorized = ids.Nil
+	}
+	for _, q := range members {
+		if rec, ok := g.sites[q.Site]; ok && rec.authorized == q {
+			rec.authorized = ids.Nil // the add committed: grant consumed
+		}
+	}
+	g.members = cur
+}
+
+// admit decides whether joiner q may be admitted at now. When deferred,
+// the second return value is how long until a token accrues (the wake
+// the caller should arm).
+func (g *readmitGov) admit(q ids.ProcID, now time.Time) (bool, time.Duration) {
+	if g == nil {
+		return true, 0
+	}
+	rec, ok := g.sites[q.Site]
+	if !ok {
+		return true, 0 // never excluded on our watch
+	}
+	if now.Sub(rec.excludedAt) > g.pol.Forget {
+		delete(g.sites, q.Site)
+		return true, 0
+	}
+	if rec.authorized == q {
+		return true, 0 // open grant, already paid
+	}
+	if !rec.refillAt.IsZero() {
+		rec.tokens += float64(now.Sub(rec.refillAt)) / float64(g.pol.MinInterval)
+		if full := float64(g.pol.Burst); rec.tokens > full {
+			rec.tokens = full
+		}
+	}
+	rec.refillAt = now
+	if rec.tokens >= 1 {
+		rec.tokens--
+		rec.authorized = q
+		return true, 0
+	}
+	wait := time.Duration((1 - rec.tokens) * float64(g.pol.MinInterval))
+	return false, wait
+}

@@ -1,0 +1,156 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"procgroup/internal/ids"
+)
+
+var rt0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestReadmitGovUnknownSiteAdmitted: a site never excluded on our watch is
+// outside the governed window entirely.
+func TestReadmitGovUnknownSiteAdmitted(t *testing.T) {
+	g := newReadmitGov(ReadmitPolicy{MinInterval: 100 * time.Millisecond})
+	g.noteInstall(ids.Gen(3), rt0)
+	if ok, _ := g.admit(ids.ProcID{Site: "p9"}, rt0); !ok {
+		t.Fatal("never-excluded site deferred")
+	}
+}
+
+// TestReadmitGovBurstThenDefer: the first exclusion fills the bucket, so a
+// one-off restart is admitted instantly; the next incarnation inside
+// MinInterval is deferred with the remaining wait reported.
+func TestReadmitGovBurstThenDefer(t *testing.T) {
+	g := newReadmitGov(ReadmitPolicy{MinInterval: 100 * time.Millisecond, Burst: 1})
+	members := ids.Gen(3)
+	g.noteInstall(members, rt0)
+	g.noteInstall(members[:2], rt0) // p3 excluded: bucket opens full
+
+	inc1 := ids.ProcID{Site: "p3", Incarnation: 1}
+	if ok, _ := g.admit(inc1, rt0); !ok {
+		t.Fatal("burst token not honored")
+	}
+	// Re-consulting the same incarnation before its add commits must not
+	// pay a second token (nextOp runs several times per round).
+	if ok, _ := g.admit(inc1, rt0); !ok {
+		t.Fatal("open grant not honored on re-consult")
+	}
+	g.noteInstall(append(members[:2:2], inc1), rt0) // add commits: grant consumed
+	g.noteInstall(members[:2], rt0.Add(10*time.Millisecond))
+
+	inc2 := ids.ProcID{Site: "p3", Incarnation: 2}
+	ok, wait := g.admit(inc2, rt0.Add(20*time.Millisecond))
+	if ok {
+		t.Fatal("empty bucket admitted the flapper")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("wait = %v, want in (0, MinInterval]", wait)
+	}
+	// After the reported wait a token has accrued.
+	if ok, _ := g.admit(inc2, rt0.Add(20*time.Millisecond).Add(wait)); !ok {
+		t.Fatal("token did not refill after the reported wait")
+	}
+}
+
+// TestReadmitGovForgetExpires: a site quiet for Forget leaves the governed
+// window and rejoins ungoverned.
+func TestReadmitGovForgetExpires(t *testing.T) {
+	g := newReadmitGov(ReadmitPolicy{MinInterval: 100 * time.Millisecond, Forget: 300 * time.Millisecond})
+	members := ids.Gen(2)
+	g.noteInstall(members, rt0)
+	g.noteInstall(members[:1], rt0)
+
+	inc := ids.ProcID{Site: "p2", Incarnation: 1}
+	if ok, _ := g.admit(inc, rt0); !ok { // burst
+		t.Fatal("burst token not honored")
+	}
+	g.noteInstall(append(members[:1:1], inc), rt0)
+	g.noteInstall(members[:1], rt0.Add(time.Millisecond))
+
+	late := rt0.Add(500 * time.Millisecond)
+	if ok, _ := g.admit(ids.ProcID{Site: "p2", Incarnation: 2}, late); !ok {
+		t.Fatal("Forget-expired site still governed")
+	}
+	if len(g.sites) != 0 {
+		t.Fatalf("expired record not pruned: %d sites", len(g.sites))
+	}
+}
+
+// TestReadmitGovDisabledIsNil: the zero policy yields a nil governor whose
+// methods are no-ops that admit everything.
+func TestReadmitGovDisabledIsNil(t *testing.T) {
+	g := newReadmitGov(ReadmitPolicy{})
+	if g != nil {
+		t.Fatal("zero policy built a governor")
+	}
+	g.noteInstall(ids.Gen(2), rt0) // must not panic
+	if ok, _ := g.admit(ids.Named("p1"), rt0); !ok {
+		t.Fatal("nil governor deferred")
+	}
+}
+
+// TestReadmitRateLimitsFlappingSite drives the full runtime: a site that is
+// excluded, readmitted, and excluded again must have its next incarnation
+// deferred by the governor — and still admitted once the bucket refills,
+// with no protocol traffic needed to wake the coordinator.
+func TestReadmitRateLimitsFlappingSite(t *testing.T) {
+	opts := fast(4)
+	opts.Readmit = ReadmitPolicy{MinInterval: 1500 * time.Millisecond, Burst: 1}
+	c := Start(opts)
+	defer c.Stop()
+	if _, err := c.WaitConverged(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	flapper := ids.Named("p4")
+	c.Kill(flapper)
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// First rebirth spends the burst token: admitted without delay.
+	inc1 := ids.ProcID{Site: "p4", Incarnation: 1}
+	c.Join(inc1, ids.Named("p1"))
+	v, err := c.WaitConverged(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Has(inc1) {
+		t.Fatalf("burst readmission missing from view %v", v)
+	}
+	if d := c.ReadmitDeferred(); d != 0 {
+		t.Fatalf("burst readmission was deferred %d times", d)
+	}
+
+	c.Kill(inc1)
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second rebirth finds an empty bucket: it must be deferred for a
+	// while, then admitted by the refill wake alone.
+	inc2 := ids.ProcID{Site: "p4", Incarnation: 2}
+	start := time.Now()
+	c.Join(inc2, ids.Named("p1"))
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if v := c.ViewOf(ids.Named("p1")); v != nil && v.Has(inc2) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rate-limited joiner never admitted; deferred %d times", c.ReadmitDeferred())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.ReadmitDeferred() == 0 {
+		t.Error("flapping site readmitted without a single deferral")
+	}
+	if waited := time.Since(start); waited < 500*time.Millisecond {
+		t.Errorf("flapper readmitted after only %v, want a governed delay", waited)
+	}
+	if _, err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -115,12 +115,13 @@ type Chaos struct {
 	inner Transport
 	start time.Time
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	def    ChaosLink
-	links  map[chanKey]ChaosLink
-	queues map[chanKey]*chaosQueue
-	closed bool
+	mu      sync.Mutex
+	rng     *rand.Rand
+	def     ChaosLink
+	links   map[chanKey]ChaosLink
+	queues  map[chanKey]*chaosQueue
+	stalled map[ids.ProcID]time.Time // process → stall end (StallProcess)
+	closed  bool
 
 	injected atomic.Int64
 	stats    statCounters // closed-drop accounting for sends after Close
@@ -132,13 +133,14 @@ type Chaos struct {
 // closes inner.
 func NewChaos(inner Transport, opts ChaosOptions) *Chaos {
 	return &Chaos{
-		inner:  inner,
-		start:  time.Now(),
-		rng:    rand.New(rand.NewSource(opts.Seed)),
-		def:    opts.Default,
-		links:  make(map[chanKey]ChaosLink),
-		queues: make(map[chanKey]*chaosQueue),
-		stop:   make(chan struct{}),
+		inner:   inner,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		def:     opts.Default,
+		links:   make(map[chanKey]ChaosLink),
+		queues:  make(map[chanKey]*chaosQueue),
+		stalled: make(map[ids.ProcID]time.Time),
+		stop:    make(chan struct{}),
 	}
 }
 
@@ -176,6 +178,46 @@ func (c *Chaos) setBlocked(a, b ids.ProcID, blocked bool) {
 	}
 }
 
+// StallProcess freezes the wire around p for d from now: every frame to
+// or from p is held and delivered only once the stall ends, in send
+// order. This is the wire silhouette of a stop-the-world pause (GC,
+// scheduler starvation, swap storm): the process neither emits nor
+// absorbs traffic for a while, then everything thaws at once. Unlike
+// Loss, nothing is dropped — per-channel FIFO and the §2.1 reliable-
+// channel assumption survive — so the profile stresses exactly the
+// failure detector's timing judgment, which is what the E22 stall arms
+// measure. Overlapping stalls extend to the latest deadline.
+func (c *Chaos) StallProcess(p ids.ProcID, d time.Duration) {
+	until := time.Now().Add(d)
+	c.mu.Lock()
+	if cur, ok := c.stalled[p]; !ok || until.After(cur) {
+		c.stalled[p] = until
+	}
+	c.mu.Unlock()
+}
+
+// stallHoldLocked returns the latest stall deadline covering either end
+// of the channel (zero when none), pruning expired entries; c.mu held.
+func (c *Chaos) stallHoldLocked(from, to ids.ProcID) time.Time {
+	if len(c.stalled) == 0 {
+		return time.Time{}
+	}
+	now := time.Now()
+	var hold time.Time
+	for _, p := range [2]ids.ProcID{from, to} {
+		if until, ok := c.stalled[p]; ok {
+			if until.After(now) {
+				if until.After(hold) {
+					hold = until
+				}
+			} else {
+				delete(c.stalled, p)
+			}
+		}
+	}
+	return hold
+}
+
 // Register implements Transport.
 func (c *Chaos) Register(p ids.ProcID, h Handler) error { return c.inner.Register(p, h) }
 
@@ -208,8 +250,9 @@ func (c *Chaos) Send(from, to ids.ProcID, m Message) {
 	if link.Jitter > 0 {
 		d += time.Duration(c.rng.Int63n(int64(link.Jitter)))
 	}
+	hold := c.stallHoldLocked(from, to)
 	q := c.queues[key]
-	if q == nil && !link.clean() {
+	if q == nil && (!link.clean() || !hold.IsZero()) {
 		q = &chaosQueue{wake: make(chan struct{}, 1)}
 		c.queues[key] = q
 		c.wg.Add(1)
@@ -223,7 +266,11 @@ func (c *Chaos) Send(from, to ids.ProcID, m Message) {
 		c.inner.Send(from, to, m)
 		return
 	}
-	q.push(chaosItem{at: time.Now().Add(d), from: from, to: to, m: m})
+	at := time.Now().Add(d)
+	if hold.After(at) {
+		at = hold // frozen by a process stall: thaw at its end, in order
+	}
+	q.push(chaosItem{at: at, from: from, to: to, m: m})
 }
 
 // dropsLocked decides whether this frame dies here; c.mu must be held.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -153,6 +154,108 @@ func TestChaosBurstWindowsDropEverything(t *testing.T) {
 	}
 	if int64(delivered)+injected != 150 {
 		t.Errorf("delivered %d + injected %d ≠ 150 sent", delivered, injected)
+	}
+}
+
+func TestChaosStallProcessFreezesThenThaws(t *testing.T) {
+	// StallProcess must hold — not drop — every frame touching the
+	// stalled process, releasing them in send order when the stall ends:
+	// the wire silhouette of a GC pause, with §2.1 FIFO intact.
+	tr := NewChaos(NewInmem(), ChaosOptions{})
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	type arrival struct {
+		n  int
+		at time.Time
+	}
+	var mu sync.Mutex
+	var got []arrival
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, func(_ ids.ProcID, m Message) {
+		mu.Lock()
+		got = append(got, arrival{n: m.Payload.(fifoPayload).N, at: time.Now()})
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const stall = 60 * time.Millisecond
+	start := time.Now()
+	tr.StallProcess(a, stall)
+	// Frames sent during the stall (including an MsgID-0 beacon shape)…
+	tr.Send(a, b, Message{MsgID: 0, Payload: fifoPayload{N: 1}})
+	tr.Send(a, b, Message{MsgID: 2, Payload: fifoPayload{N: 2}})
+	time.Sleep(stall / 3)
+	// …and one sent mid-stall must all thaw together, in order.
+	tr.Send(a, b, Message{MsgID: 3, Payload: fifoPayload{N: 3}})
+
+	mu.Lock()
+	early := len(got)
+	mu.Unlock()
+	if early != 0 {
+		t.Fatalf("%d frames leaked through an active stall", early)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/3 frames thawed after the stall", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, ar := range got {
+		if ar.n != i+1 {
+			t.Errorf("arrival %d = frame %d; thaw broke FIFO", i, ar.n)
+		}
+		if ar.at.Sub(start) < stall {
+			t.Errorf("frame %d delivered %v after stall start, want ≥ %v", ar.n, ar.at.Sub(start), stall)
+		}
+	}
+	if got := tr.Stats().ChaosInjected; got != 0 {
+		t.Errorf("stall injected %d drops; it must hold frames, not drop them", got)
+	}
+}
+
+func TestChaosStallExpiresAndCleansUp(t *testing.T) {
+	// After the stall window passes, new frames flow promptly again and
+	// the stall record is pruned.
+	tr := NewChaos(NewInmem(), ChaosOptions{})
+	defer tr.Close()
+	a, b := ids.Named("a"), ids.Named("b")
+	var s sink
+	if err := tr.Register(a, func(ids.ProcID, Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Register(b, s.handler); err != nil {
+		t.Fatal(err)
+	}
+	tr.StallProcess(a, 10*time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	tr.Send(a, b, Message{MsgID: 1, Payload: fifoPayload{N: 0}})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.len() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("post-stall frame not delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tr.mu.Lock()
+	left := len(tr.stalled)
+	tr.mu.Unlock()
+	if left != 0 {
+		t.Errorf("%d expired stall records not pruned", left)
 	}
 }
 

@@ -69,6 +69,18 @@ type (
 	// AccrualDetectorOptions tunes the adaptive φ-accrual detector of
 	// NewAccrualDetector.
 	AccrualDetectorOptions = fd.AccrualOptions
+	// HysteresisOptions tunes the suspicion-hysteresis wrapper of
+	// NewHysteresisDetector.
+	HysteresisOptions = fd.HysteresisOptions
+	// HysteresisStats aggregates crossing/flap/mistake counters across
+	// every detector built from one NewHysteresisDetector factory — set
+	// it on HysteresisOptions.Stats to read cluster-wide detector QoS.
+	HysteresisStats = fd.HysteresisStats
+	// ReadmitPolicy rate-limits readmission of recently excluded sites
+	// (GroupOptions.Readmit): a flapping site's rebirths are metered by
+	// a per-site token bucket — delayed, never denied. The zero value
+	// disables the governor.
+	ReadmitPolicy = live.ReadmitPolicy
 	// ChaosTransport degrades any inner transport with per-link delay,
 	// jitter, loss, bursts and asymmetric partitions — the live chaos
 	// harness. Its SetLink/Partition/Heal methods reconfigure adversity
@@ -166,6 +178,21 @@ func NewFixedTimeoutDetector(after time.Duration) DetectorFactory {
 // detector. A zero options value selects the documented defaults.
 func NewAccrualDetector(opts AccrualDetectorOptions) DetectorFactory {
 	return fd.NewAccrualFactory(opts)
+}
+
+// NewHysteresisDetector wraps any detector factory with suspicion
+// hysteresis: a threshold crossing must survive a further dwell of
+// continuous silence before it surfaces as a suspicion, and a peer whose
+// crossings keep recovering (a flapping link, a stalling scheduler) pays
+// an exponentially decaying dwell penalty on its next ones. This is the
+// root-cause fix for the false-suspicion cascade (§4.3): transient
+// silence — a GC pause, an event-loop stall, a link flap at the
+// detection threshold — is forgiven when the evidence recovers, while a
+// genuinely dead member is still detected one dwell later. Dwell 0 is a
+// measurement-only passthrough: behavior is unchanged but the shared
+// HysteresisStats still count crossings and mistakes.
+func NewHysteresisDetector(inner DetectorFactory, opts HysteresisOptions) DetectorFactory {
+	return fd.NewHysteresisFactory(inner, opts)
 }
 
 // NewChaosTransport wraps inner with configurable link adversity (delay,
